@@ -1,0 +1,259 @@
+package pgssi_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pgssi"
+	"pgssi/internal/workload"
+)
+
+// This file regenerates every figure and table of the paper's evaluation
+// (§8) as Go benchmarks. Each sub-benchmark is one point of a figure:
+// one (workload parameter, concurrency control) pair, reporting committed
+// transactions per second and the serialization failure percentage via
+// b.ReportMetric. EXPERIMENTS.md records a full run and compares the
+// shapes against the paper.
+//
+// Durations are deliberately short so `go test -bench=.` completes in
+// minutes; set PGSSI_BENCH_MS (per-point milliseconds) for longer, less
+// noisy runs.
+
+func benchDuration() time.Duration {
+	if ms := os.Getenv("PGSSI_BENCH_MS"); ms != "" {
+		var n int
+		if _, err := fmt.Sscanf(ms, "%d", &n); err == nil && n > 0 {
+			return time.Duration(n) * time.Millisecond
+		}
+	}
+	return 400 * time.Millisecond
+}
+
+var benchLevels = []struct {
+	name  string
+	level pgssi.IsolationLevel
+	cfg   pgssi.Config
+}{
+	{"SI", pgssi.RepeatableRead, pgssi.Config{}},
+	{"SSI", pgssi.Serializable, pgssi.Config{}},
+	{"SSI-noROopt", pgssi.Serializable, pgssi.Config{DisableReadOnlyOpt: true}},
+	{"S2PL", pgssi.SerializableS2PL, pgssi.Config{}},
+}
+
+func reportResult(b *testing.B, res workload.Result) {
+	b.ReportMetric(res.Throughput, "txn/s")
+	b.ReportMetric(100*res.FailureRate, "fail%")
+	if res.Errors > 0 {
+		b.Fatalf("%d hard errors", res.Errors)
+	}
+}
+
+// BenchmarkFigure4 is the SIBENCH sweep of §8.1: transaction throughput
+// vs table size for SI, SSI, SSI without the read-only optimizations,
+// and S2PL. Normalize each size's series to its SI point to recover the
+// figure's y-axis.
+func BenchmarkFigure4(b *testing.B) {
+	for _, rows := range []int{10, 100, 1000, 10000} {
+		for _, lv := range benchLevels {
+			b.Run(fmt.Sprintf("rows=%d/%s", rows, lv.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					si := workload.SIBench{Rows: rows}
+					res, err := si.Run(lv.cfg, workload.RunOptions{
+						Level: lv.level, Workers: 4, Duration: benchDuration(), Seed: 4,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportResult(b, res)
+				}
+			})
+		}
+	}
+}
+
+// benchmarkFigure5 runs the DBT-2++ read-only-fraction sweep of §8.2
+// under the given storage configuration.
+func benchmarkFigure5(b *testing.B, base pgssi.Config, warehouses, workers int) {
+	for _, ro := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		for _, lv := range benchLevels {
+			cfg := base
+			cfg.DisableReadOnlyOpt = lv.cfg.DisableReadOnlyOpt
+			b.Run(fmt.Sprintf("ro=%.0f%%/%s", ro*100, lv.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					db := pgssi.Open(cfg)
+					w := workload.DefaultDBT2(warehouses)
+					if err := w.Setup(db); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res := workload.RunClosedLoop(db, w.Mix(ro), workload.RunOptions{
+						Level: lv.level, Workers: workers, Duration: benchDuration(), Seed: 5,
+					})
+					reportResult(b, res)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5a is the in-memory DBT-2++ configuration (paper: 25
+// warehouses on tmpfs, 4 threads; scaled here to 4 warehouses).
+func BenchmarkFigure5a(b *testing.B) {
+	benchmarkFigure5(b, pgssi.Config{}, 4, 4)
+}
+
+// BenchmarkFigure5b is the disk-bound DBT-2++ configuration (paper: 150
+// warehouses on a RAID array, 36 threads; reproduced with a simulated
+// per-page I/O delay and more workers than cores so transactions overlap
+// under I/O waits).
+func BenchmarkFigure5b(b *testing.B) {
+	benchmarkFigure5(b, pgssi.Config{IODelay: 100 * time.Microsecond, CacheMissRatio: 0.3}, 8, 16)
+}
+
+// BenchmarkFigure6 is the RUBiS bidding-mix table of §8.3: absolute
+// throughput and serialization failure rate for SI, SSI, and S2PL.
+func BenchmarkFigure6(b *testing.B) {
+	for _, lv := range benchLevels {
+		if lv.name == "SSI-noROopt" {
+			continue // Figure 6 has three rows
+		}
+		b.Run(lv.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := pgssi.Open(lv.cfg)
+				r := &workload.RUBiS{Users: 500, Items: 1000, Categories: 20}
+				if err := r.Setup(db); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res := workload.RunClosedLoop(db, r.Mix(), workload.RunOptions{
+					Level: lv.level, Workers: 4, Duration: benchDuration(), Seed: 6,
+				})
+				reportResult(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkDeferrable is the §8.4 experiment: latency to acquire a safe
+// snapshot for a SERIALIZABLE READ ONLY DEFERRABLE transaction while the
+// DBT-2++ mix (standard 8% read-only) runs.
+func BenchmarkDeferrable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := pgssi.Open(pgssi.Config{})
+		w := workload.DefaultDBT2(2)
+		if err := w.Setup(db); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, bg := workload.MeasureDeferrable(db, w.Mix(0.08), workload.RunOptions{
+			Level: pgssi.Serializable, Workers: 8, Duration: 4 * benchDuration(), Seed: 8,
+		}, 20*time.Millisecond, nil)
+		if bg.Errors > 0 {
+			b.Fatalf("%d hard errors", bg.Errors)
+		}
+		b.ReportMetric(float64(res.Median.Microseconds())/1000, "median-ms")
+		b.ReportMetric(float64(res.P90.Microseconds())/1000, "p90-ms")
+		b.ReportMetric(float64(res.Max.Microseconds())/1000, "max-ms")
+		b.ReportMetric(float64(len(res.Samples)), "samples")
+	}
+}
+
+// BenchmarkAblationCommitOrdering quantifies the §3.3.1 commit-ordering
+// optimization: SIBENCH at a contended size, with and without it, the
+// difference showing up as false-positive aborts.
+func BenchmarkAblationCommitOrdering(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  pgssi.Config
+	}{
+		{"with-commit-ordering", pgssi.Config{}},
+		{"basic-SSI", pgssi.Config{DisableCommitOrderingOpt: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				si := workload.SIBench{Rows: 50}
+				res, err := si.Run(mode.cfg, workload.RunOptions{
+					Level: pgssi.Serializable, Workers: 8, Duration: benchDuration(), Seed: 10,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportResult(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSummarization sweeps the committed-transaction budget
+// (§6.2): smaller budgets force summarization, trading memory for
+// false-positive aborts. The long-running reader prevents cleanup, as in
+// the paper's motivating scenario.
+func BenchmarkAblationSummarization(b *testing.B) {
+	for _, budget := range []int{8, 64, 1 << 14} {
+		b.Run(fmt.Sprintf("maxCommitted=%d", budget), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := pgssi.Config{MaxCommittedXacts: budget}
+				db := pgssi.Open(cfg)
+				si := workload.SIBench{Rows: 200}
+				if err := si.Setup(db); err != nil {
+					b.Fatal(err)
+				}
+				// A long-running reader pins cleanup for the whole
+				// measurement interval.
+				pin, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pin.Get("sibench", "k000000"); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res := workload.RunClosedLoop(db, si.Mix(), workload.RunOptions{
+					Level: pgssi.Serializable, Workers: 4, Duration: benchDuration(), Seed: 11,
+				})
+				b.StopTimer()
+				pin.Rollback()
+				b.StartTimer()
+				reportResult(b, res)
+				st := db.SSIStats()
+				b.ReportMetric(float64(st.Summarized), "summarized")
+			}
+		})
+	}
+}
+
+// BenchmarkLockManager measures raw SIREAD lock-path overhead: the cost
+// a Serializable point read pays over a snapshot-isolation read.
+func BenchmarkLockManager(b *testing.B) {
+	for _, lv := range []struct {
+		name  string
+		level pgssi.IsolationLevel
+	}{{"SI-read", pgssi.RepeatableRead}, {"SSI-read", pgssi.Serializable}} {
+		b.Run(lv.name, func(b *testing.B) {
+			db := pgssi.Open(pgssi.Config{})
+			si := workload.SIBench{Rows: 1000}
+			if err := si.Setup(db); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := db.Begin(pgssi.TxOptions{Isolation: lv.level})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tx.Get("sibench", fmt.Sprintf("k%06d", i%1000)); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+// Command dbt2 regenerates Figure 5: DBT-2++ throughput vs read-only
+// fraction under SI, SSI, SSI without read-only optimizations, and S2PL,
+// for the in-memory (5a) and simulated disk-bound (5b) configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pgssi"
+	"pgssi/internal/workload"
+)
+
+func main() {
+	config := flag.String("config", "memory", `"memory" (Figure 5a) or "disk" (Figure 5b)`)
+	warehouses := flag.Int("warehouses", 0, "warehouse count (default: 4 memory, 8 disk)")
+	workers := flag.Int("workers", 0, "workers (default: 4 memory, 16 disk)")
+	dur := flag.Duration("duration", 2*time.Second, "measurement duration per point")
+	flag.Parse()
+
+	var cfg pgssi.Config
+	wh, wk := 4, 4
+	includeNoRO := true
+	if *config == "disk" {
+		cfg = pgssi.Config{IODelay: 100 * time.Microsecond, CacheMissRatio: 0.3}
+		wh, wk = 8, 16
+		includeNoRO = false // Figure 5b omits the no-r/o series
+	}
+	if *warehouses > 0 {
+		wh = *warehouses
+	}
+	if *workers > 0 {
+		wk = *workers
+	}
+
+	b := workload.DefaultDBT2(wh)
+	rows, err := b.Figure5(cfg, []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}, workload.RunOptions{
+		Workers: wk, Duration: *dur, Seed: 2,
+	}, includeNoRO)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Figure 5%s — DBT-2++ throughput normalized to SI (%d warehouses, %d workers)\n",
+		map[string]string{"memory": "a", "disk": "b"}[*config], wh, wk)
+	fmt.Printf("%8s  %12s  %8s  %12s  %8s  %10s\n", "r/o frac", "SI (txn/s)", "SSI", "SSI no r/o", "S2PL", "SSI fail%")
+	for _, r := range rows {
+		noRO := "-"
+		if includeNoRO {
+			noRO = fmt.Sprintf("%.2fx", r.SSINoRO)
+		}
+		fmt.Printf("%7.0f%%  %12.0f  %7.2fx  %12s  %7.2fx  %9.3f%%\n",
+			r.ROFraction*100, r.SI, r.SSI, noRO, r.S2PL, r.SSIFailPct)
+	}
+}

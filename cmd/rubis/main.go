@@ -1,0 +1,34 @@
+// Command rubis regenerates Figure 6: RUBiS bidding-mix throughput and
+// serialization failure rates under SI, SSI, and S2PL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pgssi/internal/workload"
+)
+
+func main() {
+	users := flag.Int("users", 1000, "registered users")
+	items := flag.Int("items", 2000, "active auctions")
+	cats := flag.Int("categories", 20, "item categories")
+	workers := flag.Int("workers", 4, "closed-loop workers")
+	dur := flag.Duration("duration", 3*time.Second, "measurement duration")
+	flag.Parse()
+
+	rows, err := workload.Figure6(&workload.RUBiS{
+		Users: *users, Items: *items, Categories: *cats,
+	}, workload.RunOptions{Workers: *workers, Duration: *dur, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 6 — RUBiS bidding mix (85% read-only)")
+	fmt.Printf("%-20s  %14s  %22s\n", "", "Throughput", "Serialization failures")
+	for _, r := range rows {
+		fmt.Printf("%-20s  %10.0f/s  %21.3f%%\n", r.Level, r.Throughput, r.FailurePct)
+	}
+}

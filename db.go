@@ -1,0 +1,310 @@
+// Package pgssi is a multiversion transactional storage engine with a
+// true SERIALIZABLE isolation level implemented via Serializable Snapshot
+// Isolation, reproducing "Serializable Snapshot Isolation in PostgreSQL"
+// (Ports & Grittner, VLDB 2012).
+//
+// The engine provides four isolation levels mirroring the paper's
+// landscape: ReadCommitted, RepeatableRead (plain snapshot isolation,
+// PostgreSQL's pre-9.1 "SERIALIZABLE"), Serializable (SSI), and
+// SerializableS2PL (the strict two-phase locking baseline of §8).
+//
+// A quick taste:
+//
+//	db := pgssi.Open(pgssi.Config{})
+//	db.CreateTable("doctors")
+//	tx, _ := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+//	v, err := tx.Get("doctors", "alice")
+//	...
+//	err = tx.Commit() // may return a serialization failure: retry
+//
+// Transactions aborted with a serialization failure
+// (IsSerializationFailure(err)) should simply be retried; see RunTx.
+package pgssi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pgssi/internal/btree"
+	"pgssi/internal/core"
+	"pgssi/internal/mvcc"
+	"pgssi/internal/s2pl"
+	"pgssi/internal/storage"
+	"pgssi/internal/waitgraph"
+	"pgssi/internal/wal"
+)
+
+// IsolationLevel selects a transaction's concurrency control regime.
+type IsolationLevel int
+
+// Isolation levels.
+const (
+	// Serializable is SSI: snapshot isolation plus runtime detection
+	// of dangerous structures (the paper's contribution). The default.
+	Serializable IsolationLevel = iota
+	// RepeatableRead is plain snapshot isolation — what PostgreSQL
+	// called SERIALIZABLE before 9.1.
+	RepeatableRead
+	// ReadCommitted takes a fresh snapshot before every statement.
+	ReadCommitted
+	// SerializableS2PL provides serializability with strict two-phase
+	// locking, the comparison baseline of §8.
+	SerializableS2PL
+)
+
+// String implements fmt.Stringer.
+func (l IsolationLevel) String() string {
+	switch l {
+	case Serializable:
+		return "serializable"
+	case RepeatableRead:
+		return "repeatable read"
+	case ReadCommitted:
+		return "read committed"
+	case SerializableS2PL:
+		return "serializable (2PL)"
+	default:
+		return fmt.Sprintf("IsolationLevel(%d)", int(l))
+	}
+}
+
+// TxOptions configure Begin.
+type TxOptions struct {
+	Isolation IsolationLevel
+	// ReadOnly declares the transaction READ ONLY. Serializable
+	// read-only transactions benefit from the §4 optimizations.
+	ReadOnly bool
+	// Deferrable, with ReadOnly and Serializable, makes Begin block
+	// until a safe snapshot is available (§4.3); the transaction then
+	// runs entirely free of SSI overhead and cannot abort.
+	Deferrable bool
+}
+
+// Config configures a DB. The zero value is a sensible in-memory
+// configuration.
+type Config struct {
+	// IODelay, if nonzero, simulates a storage device: each heap page
+	// access that misses the simulated buffer cache sleeps this long.
+	// Together with CacheMissRatio it reproduces the paper's
+	// disk-bound benchmark configuration (Figure 5b).
+	IODelay time.Duration
+	// CacheMissRatio is the probability in [0,1] that a page access
+	// pays IODelay.
+	CacheMissRatio float64
+
+	// MaxPredicateLocks bounds the SIREAD lock table; beyond it, locks
+	// are promoted to relation granularity (graceful degradation, §6).
+	MaxPredicateLocks int
+	// MaxCommittedXacts bounds fully-tracked committed transactions;
+	// beyond it the oldest is summarized (§6.2).
+	MaxCommittedXacts int
+	// PromoteTupleToPage and PromotePageToRel are the per-transaction
+	// granularity-promotion thresholds (§5.2.1).
+	PromoteTupleToPage int
+	PromotePageToRel   int
+
+	// DisableCommitOrderingOpt turns off the commit-ordering
+	// optimization of §3.3.1 (ablation: original SSI abort rule).
+	DisableCommitOrderingOpt bool
+	// DisableReadOnlyOpt turns off the §4 read-only optimizations
+	// (the "SSI no r/o opt" series in Figures 4 and 5).
+	DisableReadOnlyOpt bool
+}
+
+func (c Config) storageConfig() storage.Config {
+	return storage.Config{IODelay: c.IODelay, CacheMissRatio: c.CacheMissRatio}
+}
+
+func (c Config) ssiConfig() core.Config {
+	return core.Config{
+		MaxPredicateLocks:        c.MaxPredicateLocks,
+		MaxCommittedXacts:        c.MaxCommittedXacts,
+		PromoteTupleToPage:       c.PromoteTupleToPage,
+		PromotePageToRel:         c.PromotePageToRel,
+		DisableCommitOrderingOpt: c.DisableCommitOrderingOpt,
+		DisableReadOnlyOpt:       c.DisableReadOnlyOpt,
+	}
+}
+
+// IndexKeyFunc derives a secondary-index key from a row; ok=false skips
+// indexing the row (partial index).
+type IndexKeyFunc func(key string, value []byte) (indexKey string, ok bool)
+
+type secondaryIndex struct {
+	name string
+	tree *btree.Tree
+	fn   IndexKeyFunc
+}
+
+type tableInfo struct {
+	name string
+	heap *storage.Table
+	// pk indexes every key ever inserted (dead entries are filtered by
+	// heap visibility and removed by vacuum), with stable leaf pages
+	// for SIREAD gap locking.
+	pk *btree.Tree
+	// pkName is the lock-target relation name of the primary index.
+	pkName string
+	mu     sync.RWMutex
+	second map[string]*secondaryIndex
+}
+
+// DB is the database engine.
+type DB struct {
+	cfg  Config
+	mvcc *mvcc.Manager
+	ssi  *core.Manager
+	s2pl *s2pl.Manager
+	wg   *waitgraph.Graph
+
+	mu     sync.RWMutex
+	tables map[string]*tableInfo
+
+	prepMu   sync.Mutex
+	prepared map[string]*Tx
+
+	walMu  sync.Mutex
+	walLog *wal.Log
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *DB {
+	m := mvcc.NewManager()
+	return &DB{
+		cfg:      cfg,
+		mvcc:     m,
+		ssi:      core.NewManager(m, cfg.ssiConfig()),
+		s2pl:     s2pl.NewManager(),
+		wg:       waitgraph.New(),
+		tables:   make(map[string]*tableInfo),
+		prepared: make(map[string]*Tx),
+	}
+}
+
+// CreateTable creates a table with a primary B+-tree index over its keys.
+// Creating an existing table is an error.
+func (db *DB) CreateTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("pgssi: table %q already exists", name)
+	}
+	db.tables[name] = &tableInfo{
+		name:   name,
+		heap:   storage.NewTable(name, db.cfg.storageConfig()),
+		pk:     btree.New(),
+		pkName: "i." + name + ".pk",
+		second: make(map[string]*secondaryIndex),
+	}
+	return nil
+}
+
+// CreateIndex adds a secondary index named idx on table, keyed by fn.
+// Entries are stored as fn(row) + "\x00" + primary key, so non-unique
+// index keys are supported. The table must currently be empty of
+// committed rows (create indexes before loading, as the benchmarks do).
+func (db *DB) CreateIndex(table, idx string, fn IndexKeyFunc) error {
+	ti, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	if _, ok := ti.second[idx]; ok {
+		return fmt.Errorf("pgssi: index %q already exists on %q", idx, table)
+	}
+	ti.second[idx] = &secondaryIndex{name: "i." + table + "." + idx, tree: btree.New(), fn: fn}
+	return nil
+}
+
+func (db *DB) table(name string) (*tableInfo, error) {
+	db.mu.RLock()
+	ti, ok := db.tables[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return ti, nil
+}
+
+func (ti *tableInfo) index(name string) (*secondaryIndex, error) {
+	ti.mu.RLock()
+	si, ok := ti.second[name]
+	ti.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %q", ErrNoIndex, name, ti.name)
+	}
+	return si, nil
+}
+
+// secondaries returns the table's secondary indexes.
+func (ti *tableInfo) secondaries() []*secondaryIndex {
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	out := make([]*secondaryIndex, 0, len(ti.second))
+	for _, si := range ti.second {
+		out = append(out, si)
+	}
+	return out
+}
+
+// SSIStats returns the SSI manager's counters.
+func (db *DB) SSIStats() core.Stats { return db.ssi.Stats() }
+
+// S2PLStats returns the heavyweight lock manager's counters.
+func (db *DB) S2PLStats() s2pl.Stats { return db.s2pl.Stats() }
+
+// ActiveTransactions returns the number of in-progress transactions.
+func (db *DB) ActiveTransactions() int { return db.mvcc.ActiveCount() }
+
+// AttachWAL directs commit records (and safe-snapshot markers) to log,
+// enabling log-shipping replication (§7.2).
+func (db *DB) AttachWAL(log *wal.Log) {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	db.walLog = log
+}
+
+// RunTx runs fn in a transaction with the given options, retrying on
+// serialization failures — the "middleware layer that automatically
+// retries transactions" the paper assumes (§3). fn may be invoked
+// multiple times; it must not keep side effects across attempts. Any
+// other error rolls back and is returned.
+func (db *DB) RunTx(opts TxOptions, fn func(tx *Tx) error) error {
+	for {
+		tx, err := db.Begin(opts)
+		if err != nil {
+			return err
+		}
+		err = fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		} else {
+			tx.Rollback()
+		}
+		if !IsSerializationFailure(err) {
+			return err
+		}
+	}
+}
+
+// Vacuum removes dead tuple versions no longer visible to any possible
+// snapshot and prunes fully-dead keys from primary indexes.
+func (db *DB) Vacuum() int {
+	horizon := db.mvcc.TakeSnapshot()
+	removed := 0
+	db.mu.RLock()
+	tables := make([]*tableInfo, 0, len(db.tables))
+	for _, ti := range db.tables {
+		tables = append(tables, ti)
+	}
+	db.mu.RUnlock()
+	for _, ti := range tables {
+		removed += ti.heap.Vacuum(horizon, db.mvcc)
+	}
+	return removed
+}

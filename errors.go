@@ -1,0 +1,84 @@
+package pgssi
+
+import (
+	"errors"
+	"fmt"
+
+	"pgssi/internal/core"
+	"pgssi/internal/storage"
+	"pgssi/internal/waitgraph"
+)
+
+// Sentinel errors returned by the engine. Use errors.Is to test for them;
+// IsSerializationFailure additionally groups every retryable concurrency
+// failure the way PostgreSQL's SQLSTATE 40001 does.
+var (
+	// ErrSerialization reports that the transaction was aborted to
+	// preserve serializability (SSI dangerous structure, snapshot
+	// isolation first-updater-wins conflict, or deadlock victim).
+	// Retrying the transaction is expected to succeed; under SSI the
+	// safe-retry rules of §5.4 guarantee the retry cannot fail with
+	// the same conflict except in the two-phase-commit corner case.
+	ErrSerialization = errors.New("pgssi: could not serialize access due to read/write dependencies among transactions")
+	// ErrNotFound reports that the key has no visible version.
+	ErrNotFound = errors.New("pgssi: key not found")
+	// ErrDuplicateKey reports an insert of an existing key.
+	ErrDuplicateKey = errors.New("pgssi: duplicate key")
+	// ErrTxDone reports use of a finished transaction.
+	ErrTxDone = errors.New("pgssi: transaction has already been committed or rolled back")
+	// ErrReadOnlyTx reports a write attempted in a READ ONLY transaction.
+	ErrReadOnlyTx = errors.New("pgssi: cannot execute write in a read-only transaction")
+	// ErrNoTable reports an operation against an unknown table.
+	ErrNoTable = errors.New("pgssi: no such table")
+	// ErrNoIndex reports an operation against an unknown index.
+	ErrNoIndex = errors.New("pgssi: no such index")
+	// ErrPrepared reports an operation invalid on a prepared transaction.
+	ErrPrepared = errors.New("pgssi: transaction is prepared")
+	// ErrNoSavepoint reports a rollback to an unknown savepoint.
+	ErrNoSavepoint = errors.New("pgssi: no such savepoint")
+)
+
+// IsSerializationFailure reports whether err is a retryable concurrency
+// failure: an SSI serialization failure, a snapshot-isolation write
+// conflict, or a deadlock abort. Applications (or a retry middleware, as
+// §3 assumes) should retry the transaction.
+func IsSerializationFailure(err error) bool {
+	return errors.Is(err, ErrSerialization)
+}
+
+// serializationError wraps a concrete cause in ErrSerialization.
+type serializationError struct {
+	cause string
+}
+
+func (e *serializationError) Error() string {
+	return fmt.Sprintf("%v (%s)", ErrSerialization, e.cause)
+}
+
+func (e *serializationError) Is(target error) bool {
+	return target == ErrSerialization
+}
+
+func serializationFailure(cause string) error {
+	return &serializationError{cause: cause}
+}
+
+// mapStorageErr converts storage-layer errors into engine errors.
+func mapStorageErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, storage.ErrNotFound):
+		return ErrNotFound
+	case errors.Is(err, storage.ErrDuplicateKey):
+		return ErrDuplicateKey
+	case errors.Is(err, storage.ErrWriteConflict):
+		return serializationFailure("concurrent update")
+	case errors.Is(err, waitgraph.ErrDeadlock):
+		return serializationFailure("deadlock detected")
+	case errors.Is(err, core.ErrSerializationFailure):
+		return serializationFailure("rw-antidependency dangerous structure")
+	default:
+		return err
+	}
+}

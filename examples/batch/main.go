@@ -1,0 +1,108 @@
+// Batch: the three-transaction batch-processing anomaly of §2.1.2
+// (Figure 2) — a receipts table and a control row with the current batch
+// number. The REPORT transaction is read-only, yet its presence makes the
+// execution non-serializable under snapshot isolation; SSI detects the
+// dangerous structure and aborts one transaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgssi"
+)
+
+func setup() *pgssi.DB {
+	db := pgssi.Open(pgssi.Config{})
+	for _, t := range []string{"control", "receipts"} {
+		if err := db.CreateTable(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	err := db.RunTx(pgssi.TxOptions{}, func(tx *pgssi.Tx) error {
+		return tx.Insert("control", "batch", []byte("1"))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+func run(level pgssi.IsolationLevel) {
+	db := setup()
+	fmt.Printf("--- %v ---\n", level)
+
+	// T2 (NEW-RECEIPT) reads the current batch number...
+	t2, _ := db.Begin(pgssi.TxOptions{Isolation: level})
+	batch, err := t2.Get("control", "batch")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...then T3 (CLOSE-BATCH) increments it and commits.
+	t3, _ := db.Begin(pgssi.TxOptions{Isolation: level})
+	if err := t3.Update("control", "batch", []byte("2")); err != nil {
+		log.Fatal(err)
+	}
+	if err := t3.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CLOSE-BATCH committed: current batch is now 2")
+
+	// T1 (REPORT) starts after the batch closed: it totals batch 1,
+	// which serializability says can never change afterwards.
+	t1, _ := db.Begin(pgssi.TxOptions{Isolation: level, ReadOnly: true})
+	count := 0
+	scanErr := t1.Scan("receipts", "1|", "1|\xff", func(string, []byte) bool {
+		count++
+		return true
+	})
+	var reportErr error
+	if scanErr != nil {
+		reportErr = scanErr
+		t1.Rollback()
+	} else {
+		reportErr = t1.Commit()
+	}
+	fmt.Printf("REPORT for closed batch 1: %d receipts (%s)\n", count, status(reportErr))
+
+	// T2 now inserts its receipt tagged with the batch number it read
+	// (1 — the batch the report already totaled!) and tries to commit.
+	insErr := t2.Insert("receipts", "1|r001", []byte("amount=42;batch="+string(batch)))
+	if insErr == nil {
+		insErr = t2.Commit()
+	} else {
+		t2.Rollback()
+	}
+	fmt.Printf("NEW-RECEIPT into batch 1: %s\n", status(insErr))
+
+	// What does the database say now?
+	check, _ := db.Begin(pgssi.TxOptions{})
+	final := 0
+	_ = check.Scan("receipts", "1|", "1|\xff", func(string, []byte) bool { final++; return true })
+	check.Rollback()
+	fmt.Printf("batch-1 receipts now: %d", final)
+	if final != count {
+		fmt.Printf("  ← the closed batch changed after its report: anomaly!")
+	}
+	fmt.Println()
+	fmt.Println()
+}
+
+func status(err error) string {
+	if err == nil {
+		return "committed"
+	}
+	if pgssi.IsSerializationFailure(err) {
+		return "ABORTED by SSI (retry): " + err.Error()
+	}
+	return err.Error()
+}
+
+func main() {
+	fmt.Println("Batch processing anomaly (Figure 2): a read-only REPORT makes")
+	fmt.Println("an otherwise-serializable pair of transactions anomalous.")
+	fmt.Println()
+	run(pgssi.RepeatableRead)
+	run(pgssi.Serializable)
+}

@@ -1,0 +1,92 @@
+// Quickstart: open a database, create a table, and run serializable
+// transactions with automatic retry — the recommended usage pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgssi"
+)
+
+func main() {
+	db := pgssi.Open(pgssi.Config{})
+	if err := db.CreateTable("accounts"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load initial balances in one transaction.
+	err := db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+		for _, acct := range []string{"alice", "bob", "carol"} {
+			if err := tx.Insert("accounts", acct, []byte("100")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Transfer with full serializability. RunTx retries automatically
+	// on serialization failures, the way PostgreSQL applications use a
+	// retry loop around SQLSTATE 40001.
+	transfer := func(from, to string, amount int) error {
+		return db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+			src, err := tx.Get("accounts", from)
+			if err != nil {
+				return err
+			}
+			dst, err := tx.Get("accounts", to)
+			if err != nil {
+				return err
+			}
+			s, d := atoi(src), atoi(dst)
+			if s < amount {
+				return fmt.Errorf("insufficient funds in %s", from)
+			}
+			if err := tx.Update("accounts", from, itoa(s-amount)); err != nil {
+				return err
+			}
+			return tx.Update("accounts", to, itoa(d+amount))
+		})
+	}
+
+	if err := transfer("alice", "bob", 30); err != nil {
+		log.Fatal(err)
+	}
+	if err := transfer("bob", "carol", 50); err != nil {
+		log.Fatal(err)
+	}
+
+	// A read-only serializable transaction; with no concurrent writers
+	// it runs on a safe snapshot with zero SSI overhead (§4.2).
+	tx, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable, ReadOnly: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("balances (on safe snapshot:", tx.OnSafeSnapshot(), ")")
+	total := 0
+	err = tx.Scan("accounts", "", "", func(k string, v []byte) bool {
+		fmt.Printf("  %-6s %s\n", k, v)
+		total += atoi(v)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("total:", total)
+}
+
+func atoi(b []byte) int {
+	n := 0
+	for _, c := range b {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func itoa(n int) []byte { return []byte(fmt.Sprint(n)) }

@@ -1,0 +1,331 @@
+// Package btree implements a B+-tree over string keys with stable leaf
+// page identifiers. The SSI lock manager (internal/core) takes SIREAD
+// locks on the leaf pages a scan visits — PostgreSQL 9.1's page-granular
+// index-range locking (§5.2.1) — so the tree reports which leaf pages
+// each operation touched, and page splits are surfaced to the caller so
+// predicate locks can be propagated to the new right sibling, mirroring
+// PredicateLockPageSplit.
+//
+// Keys are unique. Non-unique secondary indexes are built by suffixing
+// the primary key onto the index key, the standard composite-key trick.
+package btree
+
+import (
+	"sort"
+	"sync"
+)
+
+// degree is the maximum number of keys per node; nodes split when they
+// exceed it. Chosen small enough that realistic tables span many leaf
+// pages, giving page-granularity locking something to do.
+const degree = 64
+
+// PageID identifies a leaf page. IDs are never reused.
+type PageID int64
+
+// Split records that a leaf page split during an insert: locks held on
+// Left must be duplicated onto Right (PredicateLockPageSplit).
+type Split struct {
+	Left, Right PageID
+}
+
+type node struct {
+	// keys are the separator keys (internal) or entry keys (leaf).
+	keys []string
+	// children is nil for leaves.
+	children []*node
+	// vals parallels keys in leaves.
+	vals []string
+	// page is the leaf page ID; zero for internal nodes.
+	page PageID
+	// next links leaves left-to-right.
+	next *node
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a concurrency-safe B+-tree. A single RWMutex guards the whole
+// tree; PostgreSQL's per-page latching is unnecessary here because the
+// interesting concurrency control happens a level up.
+type Tree struct {
+	mu       sync.RWMutex
+	root     *node
+	nextPage PageID
+	size     int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	t := &Tree{nextPage: 1}
+	t.root = &node{page: t.allocPage()}
+	return t
+}
+
+func (t *Tree) allocPage() PageID {
+	p := t.nextPage
+	t.nextPage++
+	return p
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Lookup returns the value stored under key and the leaf page that holds
+// (or would hold) the key. The page is returned even on a miss so the
+// caller can SIREAD-lock the gap and detect phantom inserts.
+//
+// If onPage is non-nil it is invoked with the leaf page while the tree
+// lock is still held. Acquiring the SIREAD gap lock inside the callback
+// closes the race in which an insert lands on the page (and runs its
+// conflict check) between the lookup and the lock acquisition — the
+// moral equivalent of PostgreSQL acquiring the predicate lock while
+// holding the index page latch.
+func (t *Tree) Lookup(key string, onPage func(PageID)) (val string, ok bool, page PageID) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	if onPage != nil {
+		onPage(n.page)
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true, n.page
+	}
+	return "", false, n.page
+}
+
+// Insert stores key → val, replacing any existing value. It returns the
+// leaf page that received the entry, whether the key was newly added, and
+// any splits performed (leaf splits first, so callers can propagate
+// predicate locks).
+func (t *Tree) Insert(key, val string) (page PageID, added bool, splits []Split) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	page, added, splits = t.insert(t.root, key, val)
+	if len(t.root.keys) > degree {
+		// Split the root: the old root becomes the left child.
+		old := t.root
+		mid, right, sp := t.splitNode(old)
+		t.root = &node{
+			keys:     []string{mid},
+			children: []*node{old, right},
+		}
+		if sp != nil {
+			splits = append(splits, *sp)
+		}
+	}
+	if added {
+		t.size++
+	}
+	return page, added, splits
+}
+
+func (t *Tree) insert(n *node, key, val string) (PageID, bool, []Split) {
+	if n.leaf() {
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			return n.page, false, nil
+		}
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, "")
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return n.page, true, nil
+	}
+	ci := childIndex(n.keys, key)
+	child := n.children[ci]
+	page, added, splits := t.insert(child, key, val)
+	if len(child.keys) > degree {
+		mid, right, sp := t.splitNode(child)
+		n.keys = append(n.keys, "")
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = mid
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+		if sp != nil {
+			splits = append(splits, *sp)
+			// The entry may have landed on the new right page.
+			if page == sp.Left && right.leaf() {
+				if i := sort.SearchStrings(right.keys, key); i < len(right.keys) && right.keys[i] == key {
+					page = right.page
+				}
+			}
+		}
+	}
+	return page, added, splits
+}
+
+// splitNode splits an over-full node in half, returning the separator
+// key, the new right sibling, and (for leaves) the split record.
+func (t *Tree) splitNode(n *node) (string, *node, *Split) {
+	mid := len(n.keys) / 2
+	right := &node{}
+	if n.leaf() {
+		right.page = t.allocPage()
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		right.next = n.next
+		n.next = right
+		return right.keys[0], right, &Split{Left: n.page, Right: right.page}
+	}
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right, nil
+}
+
+// Delete removes key if present, returning the leaf page it occupied (or
+// would occupy) and whether a removal happened. Leaves are not merged;
+// PostgreSQL handles page deletion by moving predicate locks, but an
+// append-mostly simulation does not need reclamation for correctness.
+func (t *Tree) Delete(key string) (page PageID, removed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		t.size--
+		return n.page, true
+	}
+	return n.page, false
+}
+
+// Range invokes fn for each entry with lo <= key < hi in ascending order
+// (hi == "" means unbounded) and returns the leaf pages visited,
+// including the page containing the first key past the range — locking
+// that page covers the gap beyond the last returned entry, which is what
+// makes phantom inserts at the range boundary detectable. fn returning
+// false stops the scan early.
+//
+// onPage, if non-nil, is invoked for each visited leaf page under the
+// tree lock, before any of that page's entries are delivered; see Lookup
+// for why gap locks must be taken there.
+func (t *Tree) Range(lo, hi string, onPage func(PageID), fn func(key, val string) bool) []PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, lo)]
+	}
+	var pages []PageID
+	stopped := false
+	for n != nil {
+		pages = append(pages, n.page)
+		if onPage != nil {
+			onPage(n.page)
+		}
+		i := sort.SearchStrings(n.keys, lo)
+		for ; i < len(n.keys); i++ {
+			if hi != "" && n.keys[i] >= hi {
+				return pages
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				stopped = true
+				break
+			}
+		}
+		if stopped {
+			return pages
+		}
+		n = n.next
+	}
+	return pages
+}
+
+// AllPages returns the IDs of every leaf page, left to right. A
+// full-index scan locks all of them (callers typically promote to a
+// relation lock instead).
+func (t *Tree) AllPages() []PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	var pages []PageID
+	for ; n != nil; n = n.next {
+		pages = append(pages, n.page)
+	}
+	return pages
+}
+
+// childIndex returns the child slot to descend into for key.
+func childIndex(keys []string, key string) int {
+	// Child i holds keys in [keys[i-1], keys[i]); descend right on
+	// equality so leaf separator invariants hold.
+	return sort.Search(len(keys), func(i int) bool { return key < keys[i] })
+}
+
+// CheckInvariants verifies ordering, fanout, and leaf-chain consistency,
+// returning a description of the first violation found, or "". It exists
+// for the property-based tests.
+func (t *Tree) CheckInvariants() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return checkNode(t.root, "", "", t.root)
+}
+
+func checkNode(n *node, lo, hi string, root *node) string {
+	if len(n.keys) > degree {
+		return "node exceeds degree"
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return "keys out of order"
+		}
+	}
+	for i, k := range n.keys {
+		if lo != "" && k < lo {
+			return "key below subtree lower bound"
+		}
+		if hi != "" && k >= hi && n.leaf() {
+			return "leaf key at or above subtree upper bound"
+		}
+		_ = i
+	}
+	if n.leaf() {
+		if len(n.keys) != len(n.vals) {
+			return "leaf keys/vals length mismatch"
+		}
+		if n.page == 0 {
+			return "leaf missing page id"
+		}
+		return ""
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return "internal fanout mismatch"
+	}
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			chi = n.keys[i]
+		}
+		if msg := checkNode(c, clo, chi, root); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}

@@ -1,0 +1,261 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	_, ok, page := tr.Lookup("x", nil)
+	if ok {
+		t.Fatal("lookup in empty tree must miss")
+	}
+	if page == 0 {
+		t.Fatal("even a miss must name the gap page")
+	}
+	pages := tr.Range("", "", nil, func(string, string) bool { t.Fatal("no entries expected"); return false })
+	if len(pages) != 1 {
+		t.Fatalf("empty range should visit exactly the root leaf, got %d pages", len(pages))
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if _, added, _ := tr.Insert(k, k+"v"); !added {
+			t.Fatalf("insert %s reported not-added", k)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v, ok, _ := tr.Lookup(k, nil)
+		if !ok || v != k+"v" {
+			t.Fatalf("lookup %s = %q, %v", k, v, ok)
+		}
+	}
+	// Overwrite does not add.
+	if _, added, _ := tr.Insert("k0000", "new"); added {
+		t.Fatal("overwrite must not report added")
+	}
+	if v, _, _ := tr.Lookup("k0000", nil); v != "new" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	// Delete half.
+	for i := 0; i < 500; i += 2 {
+		k := fmt.Sprintf("k%04d", i)
+		if _, removed := tr.Delete(k); !removed {
+			t.Fatalf("delete %s failed", k)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d, want 250", tr.Len())
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant violated after deletes: %s", msg)
+	}
+}
+
+func TestRangeOrderAndBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("%04d", i*2)
+		tr.Insert(k, "")
+	}
+	var got []string
+	tr.Range("0100", "0200", nil, func(k, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []string
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("%04d", i*2)
+		if k >= "0100" && k < "0200" {
+			want = append(want, k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("range results not sorted")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("%03d", i), "")
+	}
+	n := 0
+	tr.Range("", "", nil, func(string, string) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("scan visited %d keys, want 10", n)
+	}
+}
+
+func TestOnPageCallbackCoversVisitedLeaves(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(fmt.Sprintf("%05d", i), "")
+	}
+	var cbPages []PageID
+	retPages := tr.Range("", "", func(p PageID) { cbPages = append(cbPages, p) }, func(string, string) bool { return true })
+	if len(cbPages) != len(retPages) {
+		t.Fatalf("callback saw %d pages, return value has %d", len(cbPages), len(retPages))
+	}
+	for i := range cbPages {
+		if cbPages[i] != retPages[i] {
+			t.Fatalf("page %d mismatch: %d vs %d", i, cbPages[i], retPages[i])
+		}
+	}
+	if len(retPages) < 2 {
+		t.Fatalf("1000 keys should span multiple leaves, got %d", len(retPages))
+	}
+}
+
+func TestSplitsReported(t *testing.T) {
+	tr := New()
+	seenSplit := false
+	pageOf := map[string]PageID{}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("%05d", i)
+		page, _, splits := tr.Insert(k, "")
+		pageOf[k] = page
+		for _, sp := range splits {
+			seenSplit = true
+			if sp.Left == sp.Right {
+				t.Fatal("split with identical pages")
+			}
+			// Update our view of key → page for moved keys.
+			for kk := range pageOf {
+				_, ok2, lp := tr.Lookup(kk, nil)
+				if !ok2 {
+					t.Fatalf("key %s lost after split", kk)
+				}
+				pageOf[kk] = lp
+			}
+		}
+	}
+	if !seenSplit {
+		t.Fatal("2000 sequential inserts should split leaves")
+	}
+	// Reported page must match the lookup's view.
+	for k, p := range pageOf {
+		if _, _, lp := tr.Lookup(k, nil); lp != p {
+			t.Fatalf("key %s: tracked page %d, lookup page %d", k, p, lp)
+		}
+	}
+}
+
+func TestAllPages(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(fmt.Sprintf("%04d", i), "")
+	}
+	pages := tr.AllPages()
+	scanned := tr.Range("", "", nil, func(string, string) bool { return true })
+	if len(pages) != len(scanned) {
+		t.Fatalf("AllPages %d != full scan pages %d", len(pages), len(scanned))
+	}
+}
+
+// Property: after arbitrary inserts and deletes, the tree agrees with a
+// reference map and keeps its structural invariants.
+func TestQuickTreeMatchesReferenceMap(t *testing.T) {
+	f := func(seed uint64, opCount uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		tr := New()
+		ref := map[string]string{}
+		n := int(opCount)*4 + 50
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("%03d", rng.IntN(200))
+			switch rng.IntN(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", i)
+				tr.Insert(k, v)
+				ref[k] = v
+			case 2:
+				tr.Delete(k)
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if tr.CheckInvariants() != "" {
+			return false
+		}
+		for k, v := range ref {
+			got, ok, _ := tr.Lookup(k, nil)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Full scan returns exactly the reference keys, sorted.
+		var keys []string
+		tr.Range("", "", nil, func(k, v string) bool {
+			if ref[k] != v {
+				return false
+			}
+			keys = append(keys, k)
+			return true
+		})
+		return len(keys) == len(ref) && sort.StringsAreSorted(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every range query agrees with the reference map.
+func TestQuickRangeMatchesReference(t *testing.T) {
+	tr := New()
+	ref := map[string]bool{}
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("%05d", rng.IntN(10000))
+		tr.Insert(k, "")
+		ref[k] = true
+	}
+	f := func(a, b uint16) bool {
+		lo := fmt.Sprintf("%05d", int(a)%10000)
+		hi := fmt.Sprintf("%05d", int(b)%10000)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for k := range ref {
+			if k >= lo && k < hi {
+				want++
+			}
+		}
+		got := 0
+		tr.Range(lo, hi, nil, func(string, string) bool { got++; return true })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

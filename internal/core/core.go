@@ -1,0 +1,452 @@
+// Package core implements Serializable Snapshot Isolation as described in
+// "Serializable Snapshot Isolation in PostgreSQL" (Ports & Grittner, VLDB
+// 2012). It is the analogue of PostgreSQL's predicate.c: a lock manager
+// holding only SIREAD locks at tuple / page / relation granularity, and
+// per-transaction tracking of rw-antidependencies with dangerous-structure
+// detection.
+//
+// The package provides:
+//
+//   - SIREAD lock acquisition with multigranularity promotion (§5.2.1);
+//   - rw-antidependency flagging from both directions: write-after-read
+//     via the SIREAD table, read-after-write via MVCC conflict-out data
+//     supplied by the storage layer (§5.2);
+//   - dangerous-structure detection with the commit-ordering optimization
+//     (§3.3.1) and the read-only snapshot ordering rule (Theorem 3, §4.1);
+//   - safe-retry victim selection (§5.4);
+//   - safe snapshots and deferrable transactions (§4.2, §4.3);
+//   - bounded memory via aggressive cleanup of committed transactions and
+//     summarization into a dummy transaction plus an xid → earliest
+//     out-conflict commit table (§6);
+//   - two-phase commit support with conservative recovery (§7.1).
+//
+// All state is guarded by a single mutex, the analogue of PostgreSQL's
+// SerializableXactHashLock.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pgssi/internal/mvcc"
+)
+
+// ErrSerializationFailure is returned when a transaction must abort to
+// preserve serializability (a dangerous structure of two adjacent
+// rw-antidependencies was detected and this transaction was chosen as the
+// victim). The transaction can be retried; the safe-retry rules of §5.4
+// guarantee an immediate retry will not fail with the same conflict,
+// except in the two-phase-commit case described in §7.1.
+var ErrSerializationFailure = errors.New("could not serialize access due to read/write dependencies among transactions")
+
+// Level is a predicate-lock granularity.
+type Level int8
+
+// Granularities, coarsest first. Writers check each level in this order
+// (coarsest to finest), which §5.2.1 notes is required for correctness
+// with concurrent granularity promotion.
+const (
+	LevelRelation Level = iota
+	LevelPage
+	LevelTuple
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelRelation:
+		return "relation"
+	case LevelPage:
+		return "page"
+	case LevelTuple:
+		return "tuple"
+	default:
+		return fmt.Sprintf("Level(%d)", int8(l))
+	}
+}
+
+// Target names a lockable object: a relation, a page of a relation, or a
+// tuple (identified by key, qualified by the page holding the version
+// that was read). Index gap locks are page-level targets whose Rel is the
+// index name.
+type Target struct {
+	Rel   string
+	Level Level
+	Page  int64
+	Key   string
+}
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	switch t.Level {
+	case LevelRelation:
+		return fmt.Sprintf("%s", t.Rel)
+	case LevelPage:
+		return fmt.Sprintf("%s/p%d", t.Rel, t.Page)
+	default:
+		return fmt.Sprintf("%s/p%d/%q", t.Rel, t.Page, t.Key)
+	}
+}
+
+// RelationTarget returns the relation-granularity target for rel.
+func RelationTarget(rel string) Target {
+	return Target{Rel: rel, Level: LevelRelation}
+}
+
+// PageTarget returns the page-granularity target for (rel, page).
+func PageTarget(rel string, page int64) Target {
+	return Target{Rel: rel, Level: LevelPage, Page: page}
+}
+
+// TupleTarget returns the tuple-granularity target for key on (rel, page).
+func TupleTarget(rel string, page int64, key string) Target {
+	return Target{Rel: rel, Level: LevelTuple, Page: page, Key: key}
+}
+
+// Config tunes the SSI manager. The zero value is usable; unset limits
+// get generous defaults.
+type Config struct {
+	// MaxPredicateLocks bounds the SIREAD lock table. When an
+	// acquisition would exceed it, the acquiring transaction's locks on
+	// the target relation are promoted to relation granularity,
+	// trading precision for space (graceful degradation, §6).
+	MaxPredicateLocks int
+	// MaxCommittedXacts bounds the number of committed transactions
+	// tracked in full. Beyond it, the oldest committed transaction is
+	// summarized into the dummy OldCommitted transaction (§6.2).
+	MaxCommittedXacts int
+	// PromoteTupleToPage is the number of tuple locks on one page a
+	// transaction may hold before they are consolidated into a single
+	// page lock.
+	PromoteTupleToPage int
+	// PromotePageToRel is the number of page locks on one relation a
+	// transaction may hold before promotion to a relation lock.
+	PromotePageToRel int
+	// DisableCommitOrderingOpt turns off the commit-ordering
+	// optimization of §3.3.1 (ablation A1): every dangerous structure
+	// aborts, regardless of commit order.
+	DisableCommitOrderingOpt bool
+	// DisableReadOnlyOpt turns off the §4 read-only optimizations
+	// (ablation A2, the "SSI no r/o opt" series in Figures 4 and 5):
+	// no snapshot-ordering filter, no safe snapshots.
+	DisableReadOnlyOpt bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPredicateLocks <= 0 {
+		c.MaxPredicateLocks = 1 << 20
+	}
+	if c.MaxCommittedXacts <= 0 {
+		c.MaxCommittedXacts = 1 << 14
+	}
+	if c.PromoteTupleToPage <= 0 {
+		c.PromoteTupleToPage = 16
+	}
+	if c.PromotePageToRel <= 0 {
+		c.PromotePageToRel = 32
+	}
+	return c
+}
+
+// Stats are cumulative counters exposed for benchmarks and tests.
+type Stats struct {
+	LocksAcquired      int64
+	LocksCurrent       int64
+	LocksPeak          int64
+	TuplePromotions    int64
+	PagePromotions     int64
+	CapacityPromotions int64
+	ConflictsFlagged   int64
+	DangerousAborts    int64
+	SelfAborts         int64
+	VictimAborts       int64
+	Summarized         int64
+	SafeSnapshots      int64
+	ImmediatelySafe    int64
+	CleanedXacts       int64
+}
+
+// Xact is the SSI bookkeeping for one serializable transaction —
+// PostgreSQL's SERIALIZABLEXACT. Fields are protected by the Manager's
+// mutex.
+type Xact struct {
+	// XID is the MVCC transaction ID.
+	XID mvcc.TxID
+	// SnapshotSeq is the commit-sequence counter value when the
+	// transaction took its snapshot. Transaction T committed before
+	// this snapshot iff T.CommitSeq <= SnapshotSeq.
+	SnapshotSeq mvcc.SeqNo
+	// CommitSeq is assigned at commit; zero while running.
+	CommitSeq mvcc.SeqNo
+
+	declaredRO bool
+	deferrable bool
+	wrote      bool
+	committed  bool
+	prepared   bool
+	aborted    bool
+	// doomed marks the transaction as chosen for abort; its next
+	// operation or its commit will fail with ErrSerializationFailure.
+	doomed bool
+	// safe marks a read-only transaction running on a safe snapshot:
+	// it takes no SIREAD locks and cannot abort (§4.2). It is atomic
+	// so the engine's hot paths can check it without the SSI mutex.
+	safe atomic.Bool
+	// partiallyReleased is set when a read-only transaction became
+	// safe mid-run and dropped its locks and conflicts.
+	partiallyReleased bool
+
+	// inConflicts holds transactions R with an rw-antidependency
+	// R → this (R read an object this transaction wrote).
+	inConflicts map[*Xact]struct{}
+	// outConflicts holds transactions W with this → W (this
+	// transaction read an object W wrote).
+	outConflicts map[*Xact]struct{}
+	// summaryConflictIn records that some summarized committed
+	// transaction had an rw-conflict in to this one; the identity no
+	// longer matters (§6.2).
+	summaryConflictIn bool
+	// earliestOutConflictCommit is the commit sequence number of the
+	// earliest-committing transaction this one has a conflict out to,
+	// including summarized and cleaned-up ones (§6.1). Zero if no out
+	// conflict has committed.
+	earliestOutConflictCommit mvcc.SeqNo
+
+	// locks is this transaction's SIREAD lock set.
+	locks map[Target]struct{}
+	// tuplesOnPage counts tuple locks per (rel, page) for promotion.
+	tuplesOnPage map[Target]int
+	// pagesOnRel counts page locks per relation for promotion.
+	pagesOnRel map[string]int
+
+	// possibleUnsafe, on a read-only transaction, is the set of
+	// concurrent read/write transactions whose fate determines whether
+	// this snapshot is safe (§4.2).
+	possibleUnsafe map[*Xact]struct{}
+	// watchingROs, on a read/write transaction, is the set of
+	// read-only transactions that listed it in possibleUnsafe.
+	watchingROs map[*Xact]struct{}
+	// safeCh is closed once the safe/unsafe verdict for a read-only
+	// transaction's snapshot is known.
+	safeCh chan struct{}
+	// unsafe is the verdict (valid once safeCh is closed).
+	unsafe bool
+}
+
+// ReadOnly reports whether the transaction is known read-only: either
+// declared so, or finished without writing (§4.1's definition).
+func (x *Xact) ReadOnly() bool {
+	return x.declaredRO || ((x.committed || x.aborted) && !x.wrote)
+}
+
+// Doomed reports whether the transaction has been chosen as an abort
+// victim. Exposed for tests.
+func (x *Xact) Doomed() bool { return x.doomed }
+
+// Safe reports whether the transaction is running on a safe snapshot.
+func (x *Xact) Safe() bool { return x.safe.Load() }
+
+// Manager is the SSI state machine shared by all serializable
+// transactions of one database.
+type Manager struct {
+	mu   sync.Mutex
+	cfg  Config
+	mvcc *mvcc.Manager
+
+	// xacts maps xid → tracked transaction (active, prepared, or
+	// committed-and-still-tracked).
+	xacts map[mvcc.TxID]*Xact
+	// active is the subset of xacts that has neither committed nor
+	// aborted. Cleanup and read-only safety registration iterate this
+	// set, which stays small, instead of the full tracked map.
+	active map[*Xact]struct{}
+	// roSweepValid records that the §6.1 only-read-only-transactions
+	// sweep has already run and no read/write transaction has begun
+	// or committed since.
+	roSweepValid bool
+	// committed is the FIFO of committed transactions still tracked in
+	// full, oldest first.
+	committed []*Xact
+	// locks is the SIREAD lock table: target → holders.
+	locks map[Target]map[*Xact]struct{}
+	// oldCommitted is the dummy transaction that absorbs summarized
+	// transactions' SIREAD locks (§6.2). Its lock entries record the
+	// latest commit seq of any absorbed holder, for cleanup.
+	oldCommitted     *Xact
+	oldCommittedSeqs map[Target]mvcc.SeqNo
+	// summary maps a summarized committed transaction's xid to the
+	// commit sequence number of the earliest transaction it had a
+	// conflict out to (zero if none) — the "single 64-bit integer per
+	// transaction" table of §6.2.
+	summary map[mvcc.TxID]mvcc.SeqNo
+
+	stats Stats
+}
+
+// NewManager returns an SSI manager layered over the given MVCC manager.
+func NewManager(m *mvcc.Manager, cfg Config) *Manager {
+	mgr := &Manager{
+		cfg:              cfg.withDefaults(),
+		mvcc:             m,
+		xacts:            make(map[mvcc.TxID]*Xact),
+		active:           make(map[*Xact]struct{}),
+		locks:            make(map[Target]map[*Xact]struct{}),
+		oldCommittedSeqs: make(map[Target]mvcc.SeqNo),
+		summary:          make(map[mvcc.TxID]mvcc.SeqNo),
+	}
+	mgr.oldCommitted = &Xact{committed: true}
+	return mgr
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// TrackedXacts returns the number of transactions currently tracked
+// (active + committed-in-full). Exposed for memory-bound tests.
+func (m *Manager) TrackedXacts() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.xacts)
+}
+
+// LockCount returns the number of SIREAD lock (target, holder) pairs
+// currently in the table, including the dummy transaction's.
+func (m *Manager) LockCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int(m.stats.LocksCurrent)
+}
+
+// SummaryTableSize returns the number of summarized-transaction entries.
+func (m *Manager) SummaryTableSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.summary)
+}
+
+// Begin registers a serializable transaction with the given xid. snapFn
+// is invoked under the SSI mutex to take the transaction's snapshot, so
+// registration and snapshot are atomic with respect to serializable
+// commits (which also run under the mutex): the read-only safety
+// bookkeeping cannot miss a concurrent read/write transaction that
+// commits in between.
+//
+// For read-only transactions Begin records the set of concurrent
+// read/write serializable transactions whose fates decide snapshot
+// safety; if there are none, the snapshot is immediately safe (§4.2).
+func (m *Manager) Begin(xid mvcc.TxID, snapFn func() *mvcc.Snapshot, readOnly, deferrable bool) (*Xact, *mvcc.Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := snapFn()
+	// Conflict and lock maps are allocated lazily: most transactions
+	// acquire only a handful of locks and no conflicts, and safe
+	// read-only transactions none at all.
+	x := &Xact{
+		XID:         xid,
+		SnapshotSeq: snap.SeqNo,
+		declaredRO:  readOnly,
+		deferrable:  deferrable,
+	}
+	m.xacts[xid] = x
+	m.active[x] = struct{}{}
+	if !readOnly {
+		m.roSweepValid = false
+	}
+	if readOnly && !m.cfg.DisableReadOnlyOpt {
+		x.safeCh = make(chan struct{})
+		for other := range m.active {
+			if other == x || other.declaredRO {
+				continue
+			}
+			if x.possibleUnsafe == nil {
+				x.possibleUnsafe = make(map[*Xact]struct{})
+			}
+			x.possibleUnsafe[other] = struct{}{}
+			if other.watchingROs == nil {
+				other.watchingROs = make(map[*Xact]struct{})
+			}
+			other.watchingROs[x] = struct{}{}
+		}
+		if len(x.possibleUnsafe) == 0 {
+			m.markSafeLocked(x)
+			m.stats.ImmediatelySafe++
+		}
+	} else if readOnly && m.cfg.DisableReadOnlyOpt {
+		// With the optimization disabled the verdict is always
+		// "unsafe"; there is no channel to close because none was
+		// created.
+		x.unsafe = true
+	}
+	return x, snap
+}
+
+// markSafeLocked transitions a read-only transaction onto a safe
+// snapshot: it drops all SSI state and runs as plain snapshot isolation
+// from here on. Caller holds m.mu.
+func (m *Manager) markSafeLocked(x *Xact) {
+	if x.safe.Load() {
+		return
+	}
+	x.safe.Store(true)
+	x.unsafe = false
+	m.stats.SafeSnapshots++
+	// Release SIREAD locks and conflict edges: a transaction on a safe
+	// snapshot can never be part of a dangerous structure.
+	m.releaseLocksLocked(x)
+	for w := range x.outConflicts {
+		delete(w.inConflicts, x)
+	}
+	x.outConflicts = nil
+	x.partiallyReleased = true
+	if x.safeCh != nil {
+		close(x.safeCh)
+	}
+}
+
+// markUnsafeLocked records the "unsafe snapshot" verdict. Caller holds m.mu.
+func (m *Manager) markUnsafeLocked(x *Xact) {
+	if x.safe.Load() || x.unsafe {
+		return
+	}
+	x.unsafe = true
+	// Detach from remaining watched transactions.
+	for rw := range x.possibleUnsafe {
+		delete(rw.watchingROs, x)
+	}
+	x.possibleUnsafe = nil
+	if x.safeCh != nil {
+		close(x.safeCh)
+	}
+}
+
+// SafeVerdict blocks until the safety of x's snapshot is decided and
+// returns true if the snapshot is safe. Deferrable transactions call this
+// before running any query (§4.3); it is also used by tests.
+func (m *Manager) SafeVerdict(x *Xact) bool {
+	if x.safeCh != nil {
+		<-x.safeCh
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return x.safe.Load()
+}
+
+// VerdictKnown reports whether the safety verdict for x is already
+// decided, without blocking.
+func (m *Manager) VerdictKnown(x *Xact) bool {
+	if x.safeCh == nil {
+		return true
+	}
+	select {
+	case <-x.safeCh:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"math"
+
+	"pgssi/internal/mvcc"
+)
+
+// This file implements the transaction lifecycle: the pre-commit
+// serialization-failure check (§5.4), commit processing with safe-snapshot
+// resolution (§4.2), abort processing, aggressive cleanup of committed
+// transactions (§6.1), and summarization (§6.2).
+
+// Commit atomically performs the pre-commit serialization check and, if
+// it passes, commits the transaction: commitFn is invoked under the SSI
+// mutex to assign the commit sequence number (typically mvcc.Commit).
+// If the check fails, ErrSerializationFailure is returned, no commit
+// happens, and the caller must abort the transaction.
+//
+// Performing the check and the commit in one critical section prevents a
+// window in which a new conflict could form against a transaction that
+// already passed its check, mirroring PostgreSQL's use of
+// SerializableXactHashLock around both.
+func (m *Manager) Commit(x *Xact, commitFn func() mvcc.SeqNo) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.preCommitCheckLocked(x); err != nil {
+		return err
+	}
+	seq := commitFn()
+	m.finishCommitLocked(x, seq)
+	return nil
+}
+
+// preCommitCheckLocked is PreCommit_CheckForSerializationFailure: it
+// looks for dangerous structures in which the committing transaction is
+// T3 (committing first, so the pivot must be doomed — §5.4 rule 1/2) or
+// the pivot itself (self-abort, rule 2/3 fallback).
+func (m *Manager) preCommitCheckLocked(x *Xact) error {
+	if x.doomed {
+		return ErrSerializationFailure
+	}
+	if x.safe.Load() {
+		return nil
+	}
+
+	// Case 1: x is T3 for some pivot P with P → x. If P has not
+	// committed, x would be the first of the structure to commit;
+	// abort P now unless a T1 committed before x clears it.
+	for pivot := range x.inConflicts {
+		if pivot.committed || pivot.aborted || pivot.doomed {
+			continue
+		}
+		danger := pivot.summaryConflictIn
+		if !danger {
+			for t1 := range pivot.inConflicts {
+				if t1 == x {
+					// Two-transaction cycle x → P → x
+					// (write skew): always dangerous.
+					danger = true
+					break
+				}
+				if !m.cfg.DisableCommitOrderingOpt && t1.committed {
+					// T1 committed before T3 (= x, still
+					// committing): structure cleared.
+					continue
+				}
+				if !m.cfg.DisableReadOnlyOpt && t1.ReadOnly() && !t1.committed {
+					// Active read-only T1 took its snapshot
+					// before x commits, so T3 cannot have
+					// committed before T1's snapshot.
+					continue
+				}
+				if !m.cfg.DisableReadOnlyOpt && t1.ReadOnly() && t1.committed {
+					// Committed read-only T1: dangerous only
+					// if x committed before its snapshot —
+					// impossible, x is committing now.
+					continue
+				}
+				danger = true
+				break
+			}
+		}
+		if !danger {
+			continue
+		}
+		if !pivot.prepared {
+			// Doom the pivot (safe-retry rule 2): when retried it
+			// will not be concurrent with the committed x.
+			if err := m.doomVictimLocked(pivot, x); err != nil {
+				return err
+			}
+			continue
+		}
+		// Pivot prepared (§7.1): cannot abort it. Abort an active T1
+		// if any, else abort x itself.
+		aborted := false
+		for t1 := range pivot.inConflicts {
+			if t1 != x && !t1.committed && !t1.prepared {
+				if err := m.doomVictimLocked(t1, x); err != nil {
+					return err
+				}
+				aborted = true
+				break
+			}
+		}
+		if !aborted {
+			return m.doomVictimLocked(x, x)
+		}
+	}
+
+	// Case 2: x is the pivot, with a conflict in and a committed (or
+	// prepared) conflict out.
+	if len(x.inConflicts) > 0 || x.summaryConflictIn {
+		if s3 := x.earliestOutConflictCommit; s3 != 0 {
+			if err := m.checkPivotLocked(x, s3, x); err != nil {
+				return err
+			}
+		}
+		for t3 := range x.outConflicts {
+			if t3.prepared && !t3.committed {
+				if err := m.checkPivotPreparedT3Locked(x, x); err != nil {
+					return err
+				}
+				break
+			}
+		}
+		if m.cfg.DisableCommitOrderingOpt && len(x.outConflicts) > 0 {
+			// Basic SSI: both flags set is enough to abort.
+			return m.doomVictimLocked(x, x)
+		}
+	}
+
+	if x.doomed {
+		return ErrSerializationFailure
+	}
+	return nil
+}
+
+// finishCommitLocked marks x committed with sequence number seq,
+// propagates the out-conflict commit info to its readers, resolves
+// safe-snapshot watchers, and triggers cleanup and summarization.
+func (m *Manager) finishCommitLocked(x *Xact, seq mvcc.SeqNo) {
+	x.committed = true
+	x.prepared = false
+	x.CommitSeq = seq
+	delete(m.active, x)
+	if x.wrote {
+		m.roSweepValid = false
+	}
+
+	// Every reader r with r → x now has a committed out-conflict;
+	// record the earliest such commit (§6.1).
+	for r := range x.inConflicts {
+		if r.earliestOutConflictCommit == 0 || seq < r.earliestOutConflictCommit {
+			r.earliestOutConflictCommit = seq
+		}
+	}
+
+	// Resolve read-only snapshot safety (§4.2): x's fate is now known
+	// to every read-only transaction that was watching it.
+	for ro := range x.watchingROs {
+		delete(ro.possibleUnsafe, x)
+		if x.wrote && x.earliestOutConflictCommit != 0 && x.earliestOutConflictCommit <= ro.SnapshotSeq {
+			// x committed with an rw-conflict out to a transaction
+			// that committed before ro's snapshot: unsafe.
+			m.markUnsafeLocked(ro)
+			continue
+		}
+		if len(ro.possibleUnsafe) == 0 && !ro.unsafe && !ro.safe.Load() {
+			m.markSafeLocked(ro)
+		}
+	}
+	x.watchingROs = nil
+
+	// If x is itself read-only its SSI state is no longer useful to
+	// anyone once it commits — a committed read-only transaction can
+	// only be T1 of a structure, which its SIREAD locks already
+	// detect. Keep locks, drop nothing special here; cleanup below
+	// handles expiry.
+	m.committed = append(m.committed, x)
+
+	m.clearOldLocked()
+	for len(m.committed) > m.cfg.MaxCommittedXacts {
+		m.summarizeOldestLocked()
+	}
+}
+
+// Abort releases all SSI state for x. The engine calls it after marking
+// the transaction aborted in the MVCC layer (or when a serialization
+// failure dooms it).
+func (m *Manager) Abort(x *Xact) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if x.aborted {
+		return
+	}
+	x.aborted = true
+	x.prepared = false
+	delete(m.active, x)
+	m.releaseLocksLocked(x)
+	// §5.3: conflicts involving an aborted transaction can be removed.
+	for w := range x.outConflicts {
+		delete(w.inConflicts, x)
+	}
+	for r := range x.inConflicts {
+		delete(r.outConflicts, x)
+	}
+	x.outConflicts = nil
+	x.inConflicts = nil
+	// Detach safe-snapshot bookkeeping.
+	for rw := range x.possibleUnsafe {
+		delete(rw.watchingROs, x)
+	}
+	x.possibleUnsafe = nil
+	for ro := range x.watchingROs {
+		delete(ro.possibleUnsafe, x)
+		if len(ro.possibleUnsafe) == 0 && !ro.unsafe && !ro.safe.Load() {
+			m.markSafeLocked(ro)
+		}
+	}
+	x.watchingROs = nil
+	if !x.unsafe && !x.safe.Load() {
+		// Unblock any deferrable waiter; verdict is moot.
+		x.unsafe = true
+		if x.safeCh != nil {
+			close(x.safeCh)
+		}
+	}
+	delete(m.xacts, x.XID)
+	m.clearOldLocked()
+}
+
+// clearOldLocked is ClearOldPredicateLocks (§6.1): committed transactions
+// whose locks can no longer matter — because no active transaction is
+// concurrent with them — are fully released. Additionally, when only
+// read-only transactions remain active, all committed transactions'
+// SIREAD locks and conflict-in lists are discarded.
+func (m *Manager) clearOldLocked() {
+	minSeq := mvcc.SeqNo(math.MaxUint64)
+	allRO := true
+	for x := range m.active {
+		if x.SnapshotSeq < minSeq {
+			minSeq = x.SnapshotSeq
+		}
+		if !x.declaredRO {
+			allRO = false
+		}
+	}
+
+	for len(m.committed) > 0 && m.committed[0].CommitSeq <= minSeq {
+		c := m.committed[0]
+		m.committed = m.committed[1:]
+		m.dropCommittedLocked(c)
+		m.stats.CleanedXacts++
+	}
+
+	// Dummy (summarized) locks expire on the same condition.
+	if len(m.oldCommittedSeqs) > 0 {
+		for t, seq := range m.oldCommittedSeqs {
+			if seq <= minSeq {
+				m.removeDummyLockLocked(t)
+			}
+		}
+	}
+
+	if len(m.active) > 0 && allRO && !m.cfg.DisableReadOnlyOpt && !m.roSweepValid {
+		// §6.1: with only read-only transactions active, no future
+		// write can conflict with a committed transaction's reads,
+		// and committed transactions' conflict-in lists can only
+		// matter if an active read/write transaction writes to
+		// something they read — which cannot happen. The sweep is
+		// valid until a read/write transaction begins or commits.
+		for _, c := range m.committed {
+			m.releaseLocksLocked(c)
+			for r := range c.inConflicts {
+				delete(r.outConflicts, c)
+			}
+			c.inConflicts = nil
+		}
+		m.roSweepValid = true
+	}
+}
+
+// dropCommittedLocked fully releases a committed transaction's state.
+func (m *Manager) dropCommittedLocked(c *Xact) {
+	m.releaseLocksLocked(c)
+	for w := range c.outConflicts {
+		delete(w.inConflicts, c)
+	}
+	for r := range c.inConflicts {
+		delete(r.outConflicts, c)
+	}
+	c.outConflicts = nil
+	c.inConflicts = nil
+	delete(m.xacts, c.XID)
+}
+
+// summarizeOldestLocked consolidates the oldest tracked committed
+// transaction into the dummy OldCommitted transaction (§6.2): its SIREAD
+// locks move to the dummy (tagged with its commit seq), its earliest
+// out-conflict commit is recorded in the summary table, and its graph
+// edges are replaced by summary flags on the survivors.
+func (m *Manager) summarizeOldestLocked() {
+	if len(m.committed) == 0 {
+		return
+	}
+	c := m.committed[0]
+	m.committed = m.committed[1:]
+	m.stats.Summarized++
+
+	// The summary table: xid → commit seq of the earliest transaction
+	// c had a conflict out to (zero if none).
+	m.summary[c.XID] = c.earliestOutConflictCommit
+
+	// Reassign SIREAD locks to the dummy transaction.
+	for t := range c.locks {
+		m.removeLockLocked(c, t)
+		m.insertDummyLockLocked(t, c.CommitSeq)
+	}
+
+	// Readers of c keep their recorded earliestOutConflictCommit;
+	// writers conflicting with c gain the summary-conflict-in flag.
+	for r := range c.inConflicts {
+		delete(r.outConflicts, c)
+	}
+	for w := range c.outConflicts {
+		delete(w.inConflicts, c)
+		if !w.committed && !w.aborted {
+			w.summaryConflictIn = true
+		}
+	}
+	c.outConflicts = nil
+	c.inConflicts = nil
+	delete(m.xacts, c.XID)
+}
+
+// doomVictimLocked dooms victim, falling back per the safe-retry rules if
+// the victim cannot be aborted. caller receives ErrSerializationFailure
+// when it is the chosen victim.
+func (m *Manager) doomVictimLocked(victim, caller *Xact) error {
+	if victim.committed || victim.prepared {
+		if caller != victim && !caller.committed && !caller.prepared {
+			return m.doomLocked(caller, caller)
+		}
+		return nil
+	}
+	return m.doomLocked(victim, caller)
+}

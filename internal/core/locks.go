@@ -1,0 +1,301 @@
+package core
+
+import (
+	"pgssi/internal/mvcc"
+)
+
+// This file implements the SSI lock manager of §5.2.1: SIREAD-only locks
+// at relation / page / tuple granularity, with promotion to coarser
+// granularities both for per-transaction thresholds and for global
+// capacity, and the write-side conflict check that walks granularities
+// coarsest to finest.
+
+// AcquireTupleLock records a SIREAD lock for x on the tuple identified by
+// key, whose read version lives on (rel, page).
+func (m *Manager) AcquireTupleLock(x *Xact, rel string, page int64, key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acquireLocked(x, TupleTarget(rel, page, key))
+}
+
+// AcquirePageLock records a SIREAD lock on a heap or index page. Index
+// range scans lock the leaf pages they traverse, which is what detects
+// phantoms (§5.2.1).
+func (m *Manager) AcquirePageLock(x *Xact, rel string, page int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acquireLocked(x, PageTarget(rel, page))
+}
+
+// AcquireRelationLock records a relation-granularity SIREAD lock, used
+// for sequential scans and as the fallback for index types without
+// predicate-lock support (§7.4).
+func (m *Manager) AcquireRelationLock(x *Xact, rel string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acquireLocked(x, RelationTarget(rel))
+}
+
+// acquireLocked adds a SIREAD lock, skipping it if a coarser lock already
+// covers the target, and promoting granularity when thresholds or the
+// global capacity are exceeded. Caller holds m.mu.
+func (m *Manager) acquireLocked(x *Xact, t Target) {
+	if x.safe.Load() || x.committed || x.aborted {
+		// Safe-snapshot transactions take no SIREAD locks (§4.2).
+		return
+	}
+	if m.coveredLocked(x, t) {
+		return
+	}
+	if _, dup := x.locks[t]; dup {
+		return
+	}
+	// Enforce the global capacity bound by consolidating this
+	// transaction's locks on the relation into a relation lock.
+	if int(m.stats.LocksCurrent) >= m.cfg.MaxPredicateLocks && t.Level != LevelRelation {
+		m.stats.CapacityPromotions++
+		m.promoteToRelationLocked(x, t.Rel)
+		return
+	}
+	m.insertLockLocked(x, t)
+
+	switch t.Level {
+	case LevelTuple:
+		pk := PageTarget(t.Rel, t.Page)
+		if x.tuplesOnPage == nil {
+			x.tuplesOnPage = make(map[Target]int)
+		}
+		x.tuplesOnPage[pk]++
+		if x.tuplesOnPage[pk] > m.cfg.PromoteTupleToPage {
+			m.stats.TuplePromotions++
+			m.promoteToPageLocked(x, t.Rel, t.Page)
+		}
+	case LevelPage:
+		if x.pagesOnRel == nil {
+			x.pagesOnRel = make(map[string]int)
+		}
+		x.pagesOnRel[t.Rel]++
+		if x.pagesOnRel[t.Rel] > m.cfg.PromotePageToRel {
+			m.stats.PagePromotions++
+			m.promoteToRelationLocked(x, t.Rel)
+		}
+	}
+}
+
+// coveredLocked reports whether x already holds a coarser lock covering t.
+func (m *Manager) coveredLocked(x *Xact, t Target) bool {
+	if t.Level == LevelRelation {
+		return false
+	}
+	if _, ok := x.locks[RelationTarget(t.Rel)]; ok {
+		return true
+	}
+	if t.Level == LevelTuple {
+		if _, ok := x.locks[PageTarget(t.Rel, t.Page)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// insertLockLocked adds (t, x) to the lock table and x's lock set.
+func (m *Manager) insertLockLocked(x *Xact, t Target) {
+	holders := m.locks[t]
+	if holders == nil {
+		holders = make(map[*Xact]struct{})
+		m.locks[t] = holders
+	}
+	if _, ok := holders[x]; ok {
+		return
+	}
+	holders[x] = struct{}{}
+	if x.locks == nil {
+		x.locks = make(map[Target]struct{})
+	}
+	x.locks[t] = struct{}{}
+	m.stats.LocksAcquired++
+	m.stats.LocksCurrent++
+	if m.stats.LocksCurrent > m.stats.LocksPeak {
+		m.stats.LocksPeak = m.stats.LocksCurrent
+	}
+}
+
+// removeLockLocked removes (t, x) from the lock table and x's lock set.
+func (m *Manager) removeLockLocked(x *Xact, t Target) {
+	if _, ok := x.locks[t]; !ok {
+		return
+	}
+	delete(x.locks, t)
+	if holders, ok := m.locks[t]; ok {
+		delete(holders, x)
+		if len(holders) == 0 {
+			delete(m.locks, t)
+		}
+	}
+	m.stats.LocksCurrent--
+}
+
+// promoteToPageLocked replaces x's tuple locks on (rel, page) with a
+// single page lock.
+func (m *Manager) promoteToPageLocked(x *Xact, rel string, page int64) {
+	for t := range x.locks {
+		if t.Level == LevelTuple && t.Rel == rel && t.Page == page {
+			m.removeLockLocked(x, t)
+		}
+	}
+	delete(x.tuplesOnPage, PageTarget(rel, page))
+	m.insertLockLocked(x, PageTarget(rel, page))
+	if x.pagesOnRel == nil {
+		x.pagesOnRel = make(map[string]int)
+	}
+	x.pagesOnRel[rel]++
+	if x.pagesOnRel[rel] > m.cfg.PromotePageToRel {
+		m.promoteToRelationLocked(x, rel)
+	}
+}
+
+// promoteToRelationLocked replaces all of x's locks on rel with a single
+// relation lock.
+func (m *Manager) promoteToRelationLocked(x *Xact, rel string) {
+	for t := range x.locks {
+		if t.Rel == rel && t.Level != LevelRelation {
+			m.removeLockLocked(x, t)
+			if t.Level == LevelTuple {
+				delete(x.tuplesOnPage, PageTarget(t.Rel, t.Page))
+			}
+		}
+	}
+	delete(x.pagesOnRel, rel)
+	m.insertLockLocked(x, RelationTarget(rel))
+}
+
+// releaseLocksLocked removes every SIREAD lock x holds.
+func (m *Manager) releaseLocksLocked(x *Xact) {
+	for t := range x.locks {
+		m.removeLockLocked(x, t)
+	}
+	x.tuplesOnPage = nil
+	x.pagesOnRel = nil
+}
+
+// DropOwnTupleLock implements the optimization of §7.3: a transaction may
+// drop its SIREAD lock on a tuple it subsequently writes, because the
+// tuple write lock (the in-progress xmax) outlives it. The engine must
+// not call this inside a subtransaction, where a savepoint rollback could
+// release the write lock and leave the read unprotected.
+func (m *Manager) DropOwnTupleLock(x *Xact, rel string, page int64, key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removeLockLocked(x, TupleTarget(rel, page, key))
+}
+
+// PageSplit propagates SIREAD locks held on a split index leaf page to
+// the new right sibling, the analogue of PredicateLockPageSplit. Without
+// this, entries moved to the new page would escape their gap locks.
+func (m *Manager) PageSplit(rel string, left, right int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lt := PageTarget(rel, left)
+	rt := PageTarget(rel, right)
+	if holders, ok := m.locks[lt]; ok {
+		for x := range holders {
+			if x == m.oldCommitted {
+				m.insertDummyLockLocked(rt, m.oldCommittedSeqs[lt])
+				continue
+			}
+			m.insertLockLocked(x, rt)
+			if x.pagesOnRel == nil {
+				x.pagesOnRel = make(map[string]int)
+			}
+			x.pagesOnRel[rel]++ // promotion bookkeeping only
+		}
+	}
+	if seq, ok := m.oldCommittedSeqs[lt]; ok {
+		m.insertDummyLockLocked(rt, seq)
+	}
+}
+
+// PromoteRelationLocks promotes every fine-grained SIREAD lock on rel to
+// relation granularity for its holder. PostgreSQL does this when DDL
+// statements such as CLUSTER or ALTER TABLE rewrite a table, invalidating
+// physical tuple and page identities (§5.2.1); the engine exposes it via
+// Table rewrite operations.
+func (m *Manager) PromoteRelationLocks(rel string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var affected []*Xact
+	dummySeq := mvcc.InvalidSeqNo
+	for t, holders := range m.locks {
+		if t.Rel != rel || t.Level == LevelRelation {
+			continue
+		}
+		for x := range holders {
+			if x == m.oldCommitted {
+				if s := m.oldCommittedSeqs[t]; s > dummySeq {
+					dummySeq = s
+				}
+				continue
+			}
+			affected = append(affected, x)
+		}
+	}
+	for _, x := range affected {
+		m.promoteToRelationLocked(x, rel)
+	}
+	if dummySeq != mvcc.InvalidSeqNo {
+		// Move the dummy transaction's fine locks up as well.
+		for t := range m.oldCommittedSeqs {
+			if t.Rel == rel && t.Level != LevelRelation {
+				m.removeDummyLockLocked(t)
+			}
+		}
+		m.insertDummyLockLocked(RelationTarget(rel), dummySeq)
+	}
+}
+
+// insertDummyLockLocked records a SIREAD lock held by the summarized
+// dummy transaction, remembering the latest commit seq of any holder so
+// the lock can eventually be cleaned up (§6.2).
+func (m *Manager) insertDummyLockLocked(t Target, seq mvcc.SeqNo) {
+	holders := m.locks[t]
+	if holders == nil {
+		holders = make(map[*Xact]struct{})
+		m.locks[t] = holders
+	}
+	if _, ok := holders[m.oldCommitted]; !ok {
+		holders[m.oldCommitted] = struct{}{}
+		m.stats.LocksCurrent++
+		if m.stats.LocksCurrent > m.stats.LocksPeak {
+			m.stats.LocksPeak = m.stats.LocksCurrent
+		}
+	}
+	if seq > m.oldCommittedSeqs[t] {
+		m.oldCommittedSeqs[t] = seq
+	}
+}
+
+// removeDummyLockLocked removes the dummy transaction's lock on t.
+func (m *Manager) removeDummyLockLocked(t Target) {
+	if _, ok := m.oldCommittedSeqs[t]; !ok {
+		return
+	}
+	delete(m.oldCommittedSeqs, t)
+	if holders, ok := m.locks[t]; ok {
+		if _, held := holders[m.oldCommitted]; held {
+			delete(holders, m.oldCommitted)
+			m.stats.LocksCurrent--
+		}
+		if len(holders) == 0 {
+			delete(m.locks, t)
+		}
+	}
+}
+
+// HoldsLock reports whether x holds a SIREAD lock exactly on t (no
+// coarser-cover check). Exposed for tests.
+func (m *Manager) HoldsLock(x *Xact, t Target) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := x.locks[t]
+	return ok
+}

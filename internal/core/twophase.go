@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+
+	"pgssi/internal/mvcc"
+)
+
+// Two-phase commit support (§7.1). PREPARE runs the pre-commit
+// serialization check (a prepared transaction can no longer be aborted,
+// so the check must happen before preparing) and produces a durable
+// record of the transaction's SIREAD locks. After a crash, recovered
+// prepared transactions are conservatively assumed to have
+// rw-antidependencies both in and out, because the dependency graph
+// itself is not persisted.
+
+// ErrNotPrepared is returned when finishing a transaction that was never
+// prepared.
+var ErrNotPrepared = errors.New("core: transaction is not prepared")
+
+// PreparedState is the durable SSI state of a prepared transaction: the
+// lock targets it holds. It is what PostgreSQL writes to the two-phase
+// state file.
+type PreparedState struct {
+	XID   mvcc.TxID
+	Locks []Target
+}
+
+// Prepare runs the pre-commit serialization-failure check and, if it
+// passes, marks x prepared and returns the state to persist. A prepared
+// transaction's SIREAD locks remain active and new conflicts against it
+// can still be flagged, but it can no longer be chosen as an abort victim.
+func (m *Manager) Prepare(x *Xact) (PreparedState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.preCommitCheckLocked(x); err != nil {
+		return PreparedState{}, err
+	}
+	x.prepared = true
+	st := PreparedState{XID: x.XID, Locks: make([]Target, 0, len(x.locks))}
+	for t := range x.locks {
+		st.Locks = append(st.Locks, t)
+	}
+	return st, nil
+}
+
+// CommitPrepared commits a prepared transaction. commitFn assigns the
+// commit sequence number under the SSI mutex. Unlike Commit, no
+// serialization check runs here: it already ran at Prepare, and a
+// prepared transaction is guaranteed to be committable.
+func (m *Manager) CommitPrepared(x *Xact, commitFn func() mvcc.SeqNo) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !x.prepared {
+		return ErrNotPrepared
+	}
+	seq := commitFn()
+	m.finishCommitLocked(x, seq)
+	return nil
+}
+
+// AbortPrepared rolls back a prepared transaction (ROLLBACK PREPARED is
+// a user decision; SSI itself never aborts a prepared transaction).
+func (m *Manager) AbortPrepared(x *Xact) error {
+	m.mu.Lock()
+	prepared := x.prepared
+	m.mu.Unlock()
+	if !prepared {
+		return ErrNotPrepared
+	}
+	m.Abort(x)
+	return nil
+}
+
+// RecoverPrepared reconstitutes a prepared transaction after a crash from
+// its persisted state. Because the rw-antidependency graph is not
+// persisted, the recovered transaction is conservatively assumed to have
+// conflicts both in and out (§7.1): summaryConflictIn is set, and its
+// earliest out-conflict commit is set to the most pessimistic value so
+// any future in-conflict completes a dangerous structure.
+func (m *Manager) RecoverPrepared(st PreparedState, snapshotSeq mvcc.SeqNo) *Xact {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	x := &Xact{
+		XID:         st.XID,
+		SnapshotSeq: snapshotSeq,
+		wrote:       true,
+		prepared:    true,
+	}
+	x.summaryConflictIn = true
+	x.earliestOutConflictCommit = 1
+	m.xacts[st.XID] = x
+	m.active[x] = struct{}{}
+	for _, t := range st.Locks {
+		m.insertLockLocked(x, t)
+	}
+	return x
+}
+
+// Prepared reports whether x is in the prepared state.
+func (x *Xact) Prepared() bool { return x.prepared }

@@ -1,0 +1,273 @@
+// Package graphcheck builds multiversion serialization history graphs
+// (Adya et al., §3.1 of the paper) from recorded transaction read/write
+// sets and tests them for cycles. It is an *offline oracle*: tests run
+// workloads under some isolation level, record every committed
+// transaction's reads (key and version observed) and writes, construct
+// the wr / ww / rw edges, and check acyclicity. Executions committed
+// under SSI must always pass; snapshot isolation executions may fail —
+// that difference is exactly what the paper's Serializable level buys.
+package graphcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Version identifies a committed version of a key: the transaction that
+// wrote it. Version 0 is the initial (pre-history) version.
+type Version uint64
+
+// Op is a single read or write in a transaction's history.
+type Op struct {
+	Key string
+	// Write is true for writes (including deletes, modelled as writes
+	// of a tombstone version).
+	Write bool
+	// Saw is the version observed by a read: the ID of the transaction
+	// that wrote the value read, 0 for the initial version.
+	Saw Version
+}
+
+// Txn is one committed transaction's recorded history.
+type Txn struct {
+	// ID must be unique and nonzero; writes by this transaction
+	// produce Version(ID).
+	ID uint64
+	// Ops in execution order (order only matters for readability).
+	Ops []Op
+}
+
+// EdgeKind labels a dependency edge.
+type EdgeKind int8
+
+// Edge kinds per Adya's model.
+const (
+	WR EdgeKind = iota // T1 wrote a version T2 read
+	WW                 // T1 wrote a version T2 replaced
+	RW                 // T1 read a version T2 replaced (antidependency)
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case WR:
+		return "wr"
+	case WW:
+		return "ww"
+	case RW:
+		return "rw"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int8(k))
+	}
+}
+
+// Edge is a dependency T From → To of kind Kind caused by Key.
+type Edge struct {
+	From, To uint64
+	Kind     EdgeKind
+	Key      string
+}
+
+// Graph is a serialization history graph.
+type Graph struct {
+	txns  map[uint64]*Txn
+	edges []Edge
+	adj   map[uint64][]uint64
+}
+
+// Build constructs the graph from committed transactions. The version
+// order for each key is derived from the reads: version v2 directly
+// follows v1 for a key iff some committed transaction with ID v2 wrote
+// the key while having read (or been derived from) version v1. Because
+// the engine's write path forbids lost updates (first-updater-wins),
+// writers are assumed to replace exactly the version they observed; each
+// writing transaction must therefore record a read of the key before its
+// write (read-modify-write histories), which is how the property tests
+// generate load.
+func Build(txns []Txn) (*Graph, error) {
+	g := &Graph{txns: make(map[uint64]*Txn), adj: make(map[uint64][]uint64)}
+	for i := range txns {
+		t := &txns[i]
+		if t.ID == 0 {
+			return nil, fmt.Errorf("graphcheck: transaction ID 0 is reserved")
+		}
+		if _, dup := g.txns[t.ID]; dup {
+			return nil, fmt.Errorf("graphcheck: duplicate transaction ID %d", t.ID)
+		}
+		g.txns[t.ID] = t
+	}
+
+	// predecessor[key][v2] = v1: version v2 of key replaced v1.
+	predecessor := make(map[string]map[Version]Version)
+	for _, t := range g.txns {
+		saw := make(map[string]Version)
+		seen := make(map[string]bool)
+		for _, op := range t.Ops {
+			if !op.Write {
+				saw[op.Key] = op.Saw
+				seen[op.Key] = true
+				continue
+			}
+			if !seen[op.Key] {
+				return nil, fmt.Errorf("graphcheck: txn %d writes %q without a prior read (record read-modify-write histories)", t.ID, op.Key)
+			}
+			p := predecessor[op.Key]
+			if p == nil {
+				p = make(map[Version]Version)
+				predecessor[op.Key] = p
+			}
+			prev, ok := p[Version(t.ID)]
+			if ok && prev != saw[op.Key] {
+				return nil, fmt.Errorf("graphcheck: txn %d writes %q twice over different versions", t.ID, op.Key)
+			}
+			p[Version(t.ID)] = saw[op.Key]
+			// Subsequent reads of the key see the own write.
+			saw[op.Key] = Version(t.ID)
+		}
+	}
+
+	addEdge := func(from, to uint64, kind EdgeKind, key string) {
+		if from == to || from == 0 || to == 0 {
+			return
+		}
+		if _, ok := g.txns[from]; !ok {
+			return
+		}
+		if _, ok := g.txns[to]; !ok {
+			return
+		}
+		g.edges = append(g.edges, Edge{From: from, To: to, Kind: kind, Key: key})
+		g.adj[from] = append(g.adj[from], to)
+	}
+
+	// ww edges from the version order.
+	for key, p := range predecessor {
+		for v2, v1 := range p {
+			addEdge(uint64(v1), uint64(v2), WW, key)
+		}
+	}
+	// wr and rw edges from the reads.
+	for _, t := range g.txns {
+		ownWrites := make(map[string]bool)
+		for _, op := range t.Ops {
+			if op.Write {
+				ownWrites[op.Key] = true
+			}
+		}
+		for _, op := range t.Ops {
+			if op.Write {
+				continue
+			}
+			// Reading one's own uncommitted write creates no edge.
+			if op.Saw == Version(t.ID) {
+				continue
+			}
+			// wr: writer of the version read precedes the reader.
+			addEdge(uint64(op.Saw), t.ID, WR, op.Key)
+			// rw: the reader precedes whichever transaction wrote
+			// the *next* version of the key.
+			if p := predecessor[op.Key]; p != nil {
+				for v2, v1 := range p {
+					if v1 == op.Saw && uint64(v2) != t.ID {
+						addEdge(t.ID, uint64(v2), RW, op.Key)
+					}
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Edges returns the dependency edges.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Cycle returns a cycle in the graph as a transaction ID sequence
+// (first == last), or nil if the graph is acyclic — in which case the
+// execution is serializable and a serial order exists (topological sort).
+func (g *Graph) Cycle() []uint64 {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[uint64]int8, len(g.txns))
+	parent := make(map[uint64]uint64)
+
+	ids := make([]uint64, 0, len(g.txns))
+	for id := range g.txns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var cycleStart, cycleEnd uint64
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		color[u] = gray
+		for _, v := range g.adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycleStart, cycleEnd = v, u
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, id := range ids {
+		if color[id] == white && dfs(id) {
+			cycle := []uint64{cycleStart}
+			for v := cycleEnd; v != cycleStart; v = parent[v] {
+				cycle = append(cycle, v)
+			}
+			cycle = append(cycle, cycleStart)
+			// Reverse into forward edge order.
+			for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+				cycle[i], cycle[j] = cycle[j], cycle[i]
+			}
+			return cycle
+		}
+	}
+	return nil
+}
+
+// SerialOrder returns a topological order of the transactions, or nil if
+// the graph has a cycle.
+func (g *Graph) SerialOrder() []uint64 {
+	if g.Cycle() != nil {
+		return nil
+	}
+	indeg := make(map[uint64]int, len(g.txns))
+	for id := range g.txns {
+		indeg[id] = 0
+	}
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	var queue []uint64
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	var order []uint64
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != len(g.txns) {
+		return nil
+	}
+	return order
+}

@@ -1,0 +1,126 @@
+package graphcheck
+
+import "testing"
+
+func rd(key string, saw Version) Op { return Op{Key: key, Saw: saw} }
+func wr(key string) Op              { return Op{Key: key, Write: true} }
+func rmw(key string, saw Version) []Op {
+	return []Op{rd(key, saw), wr(key)}
+}
+
+func TestSerialHistoryIsAcyclic(t *testing.T) {
+	g, err := Build([]Txn{
+		{ID: 1, Ops: rmw("a", 0)},
+		{ID: 2, Ops: rmw("a", 1)},
+		{ID: 3, Ops: rmw("a", 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc := g.Cycle(); cyc != nil {
+		t.Fatalf("serial history has cycle %v", cyc)
+	}
+	order := g.SerialOrder()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("serial order = %v", order)
+	}
+}
+
+func TestWriteSkewCycleDetected(t *testing.T) {
+	// T1 reads a,b writes a; T2 reads a,b writes b; both saw initial
+	// versions: classic write skew, rw edges both ways.
+	g, err := Build([]Txn{
+		{ID: 1, Ops: []Op{rd("a", 0), rd("b", 0), wr("a")}},
+		{ID: 2, Ops: []Op{rd("a", 0), rd("b", 0), wr("b")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := g.Cycle()
+	if cyc == nil {
+		t.Fatal("write skew must produce a cycle")
+	}
+	if g.SerialOrder() != nil {
+		t.Fatal("cyclic graph must have no serial order")
+	}
+	// Both edges must be rw.
+	rwCount := 0
+	for _, e := range g.Edges() {
+		if e.Kind == RW {
+			rwCount++
+		}
+	}
+	if rwCount < 2 {
+		t.Fatalf("expected >= 2 rw edges, got %d: %v", rwCount, g.Edges())
+	}
+}
+
+func TestBatchProcessingCycleDetected(t *testing.T) {
+	// Figure 2 as a history: control row "c", receipts row "r".
+	// T2 (new-receipt) reads c@0, writes r (over initial).
+	// T3 (close-batch) reads c@0, writes c.
+	// T1 (report) reads c@3 (sees T3) and r@0 (misses T2).
+	g, err := Build([]Txn{
+		{ID: 2, Ops: []Op{rd("c", 0), rd("r", 0), wr("r")}},
+		{ID: 3, Ops: rmw("c", 0)},
+		{ID: 1, Ops: []Op{rd("c", 3), rd("r", 0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cycle() == nil {
+		t.Fatal("batch-processing anomaly must produce a cycle")
+	}
+}
+
+func TestEdgeKinds(t *testing.T) {
+	g, err := Build([]Txn{
+		{ID: 1, Ops: rmw("a", 0)},
+		{ID: 2, Ops: []Op{rd("a", 1)}}, // wr: 1 → 2
+		{ID: 3, Ops: rmw("a", 1)},      // ww: 1 → 3, rw: 2 → 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawWR, sawWW, sawRW bool
+	for _, e := range g.Edges() {
+		switch {
+		case e.Kind == WR && e.From == 1 && e.To == 2:
+			sawWR = true
+		case e.Kind == WW && e.From == 1 && e.To == 3:
+			sawWW = true
+		case e.Kind == RW && e.From == 2 && e.To == 3:
+			sawRW = true
+		}
+	}
+	if !sawWR || !sawWW || !sawRW {
+		t.Fatalf("missing edges: wr=%v ww=%v rw=%v (%v)", sawWR, sawWW, sawRW, g.Edges())
+	}
+}
+
+func TestBuildRejectsBlindWrites(t *testing.T) {
+	if _, err := Build([]Txn{{ID: 1, Ops: []Op{wr("a")}}}); err == nil {
+		t.Fatal("blind writes must be rejected (version order would be ambiguous)")
+	}
+}
+
+func TestBuildRejectsDuplicateIDs(t *testing.T) {
+	if _, err := Build([]Txn{{ID: 1, Ops: rmw("a", 0)}, {ID: 1, Ops: rmw("b", 0)}}); err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+	if _, err := Build([]Txn{{ID: 0}}); err == nil {
+		t.Fatal("ID 0 must be rejected")
+	}
+}
+
+func TestOwnWriteReadCreatesNoEdge(t *testing.T) {
+	g, err := Build([]Txn{
+		{ID: 1, Ops: []Op{rd("a", 0), wr("a"), rd("a", 1)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		t.Fatalf("unexpected edge %v", e)
+	}
+}

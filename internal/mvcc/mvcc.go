@@ -1,0 +1,339 @@
+// Package mvcc implements the multiversion concurrency control substrate
+// that PostgreSQL's SSI implementation builds on: transaction identifiers,
+// PostgreSQL-style snapshots (xmin / xmax / in-progress set), a commit log
+// recording the fate of every transaction, and monotonically increasing
+// commit sequence numbers.
+//
+// Commit sequence numbers are central to the SSI machinery in
+// internal/core: the commit-ordering optimization (§3.3.1 of the paper)
+// and the read-only snapshot ordering rule (§4.1) both compare the order
+// in which transactions committed, and safe-snapshot detection compares a
+// transaction's commit against another's snapshot time.
+package mvcc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TxID identifies a transaction. The zero value is invalid (never
+// assigned), mirroring PostgreSQL's InvalidTransactionId.
+type TxID uint64
+
+// InvalidTxID is the zero, never-assigned transaction ID.
+const InvalidTxID TxID = 0
+
+// SeqNo is a commit sequence number. Sequence numbers are assigned from a
+// single counter at commit time, so comparing two SeqNos orders the
+// commits. The zero value means "not committed" / "no sequence number".
+type SeqNo uint64
+
+// InvalidSeqNo is the zero, never-assigned commit sequence number.
+const InvalidSeqNo SeqNo = 0
+
+// Status is the state of a transaction as recorded in the commit log.
+type Status int8
+
+// Transaction states.
+const (
+	StatusInProgress Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusInProgress:
+		return "in-progress"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int8(s))
+	}
+}
+
+// Snapshot is a consistent view of the database, represented (as in
+// PostgreSQL) by the set of transactions whose effects are visible.
+// A transaction xid's effects are visible to the snapshot iff
+//
+//	xid < Xmax, xid not in InProgress, and xid committed.
+//
+// Transactions that commit after the snapshot was taken are either in the
+// InProgress set or have xid >= Xmax, so the snapshot never sees them.
+type Snapshot struct {
+	// Xmin is the lowest transaction ID that was active when the
+	// snapshot was taken. Every committed xid < Xmin is visible
+	// without consulting InProgress.
+	Xmin TxID
+	// Xmax is the first transaction ID that was unassigned when the
+	// snapshot was taken. No xid >= Xmax is visible.
+	Xmax TxID
+	// InProgress holds the transactions with Xmin <= xid < Xmax that
+	// were still running when the snapshot was taken.
+	InProgress map[TxID]struct{}
+	// SeqNo is the value of the commit-sequence counter when the
+	// snapshot was taken. A transaction T committed before this
+	// snapshot iff T's commit SeqNo <= this value.
+	SeqNo SeqNo
+}
+
+// Sees reports whether xid is in the set of transactions visible to the
+// snapshot, assuming xid ultimately committed. Callers must additionally
+// verify with the Manager that xid committed (see Manager.Visible).
+func (s *Snapshot) Sees(xid TxID) bool {
+	if xid >= s.Xmax {
+		return false
+	}
+	if xid < s.Xmin {
+		return true
+	}
+	_, active := s.InProgress[xid]
+	return !active
+}
+
+// ConcurrentWith reports whether xid was in flight when the snapshot was
+// taken — i.e. the snapshot does not include it even if it later
+// committed. This is the "concurrent transaction" test used throughout
+// the SSI layer: rw-antidependencies occur only between concurrent
+// transactions (Corollary 2 of the paper).
+func (s *Snapshot) ConcurrentWith(xid TxID) bool {
+	if xid >= s.Xmax {
+		return true
+	}
+	_, active := s.InProgress[xid]
+	return active
+}
+
+// txRecord is a commit-log entry.
+type txRecord struct {
+	status    Status
+	commitSeq SeqNo
+}
+
+// Manager assigns transaction IDs, takes snapshots, and records
+// transaction fates in an in-memory commit log (PostgreSQL's clog).
+// It also provides per-transaction done channels so that writers can
+// block waiting for a tuple lock holder to finish, the way PostgreSQL
+// blocks on a transaction's xid lock.
+type Manager struct {
+	mu        sync.RWMutex
+	nextXID   TxID
+	commitSeq SeqNo
+	active    map[TxID]*activeTx
+	log       map[TxID]txRecord
+	// logFloor is the lowest xid still present in log; entries below
+	// it have been truncated and are known committed.
+	logFloor TxID
+}
+
+type activeTx struct {
+	xid  TxID
+	done chan struct{}
+}
+
+// NewManager returns a Manager ready for use. The first assigned
+// transaction ID is 1.
+func NewManager() *Manager {
+	return &Manager{
+		nextXID:  1,
+		active:   make(map[TxID]*activeTx),
+		log:      make(map[TxID]txRecord),
+		logFloor: 1,
+	}
+}
+
+// Begin assigns a new transaction ID and marks it in progress.
+func (m *Manager) Begin() TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	xid := m.nextXID
+	m.nextXID++
+	m.active[xid] = &activeTx{xid: xid, done: make(chan struct{})}
+	m.log[xid] = txRecord{status: StatusInProgress}
+	return xid
+}
+
+// TakeSnapshot returns a snapshot of the transactions visible right now.
+// The snapshot excludes all in-progress transactions, including the
+// caller's own xid if it has one; storage-level visibility checks treat a
+// transaction's own writes specially.
+func (m *Manager) TakeSnapshot() *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := &Snapshot{
+		Xmin:       m.nextXID,
+		Xmax:       m.nextXID,
+		InProgress: make(map[TxID]struct{}, len(m.active)),
+		SeqNo:      m.commitSeq,
+	}
+	for xid := range m.active {
+		if xid < snap.Xmin {
+			snap.Xmin = xid
+		}
+		snap.InProgress[xid] = struct{}{}
+	}
+	return snap
+}
+
+// Commit marks xid committed, assigns it the next commit sequence number,
+// and wakes any waiters. It returns the assigned sequence number.
+func (m *Manager) Commit(xid TxID) SeqNo {
+	m.mu.Lock()
+	a, ok := m.active[xid]
+	if !ok {
+		m.mu.Unlock()
+		panic(fmt.Sprintf("mvcc: Commit of non-active transaction %d", xid))
+	}
+	m.commitSeq++
+	seq := m.commitSeq
+	m.log[xid] = txRecord{status: StatusCommitted, commitSeq: seq}
+	delete(m.active, xid)
+	m.mu.Unlock()
+	close(a.done)
+	return seq
+}
+
+// Abort marks xid aborted and wakes any waiters.
+func (m *Manager) Abort(xid TxID) {
+	m.mu.Lock()
+	a, ok := m.active[xid]
+	if !ok {
+		m.mu.Unlock()
+		panic(fmt.Sprintf("mvcc: Abort of non-active transaction %d", xid))
+	}
+	m.log[xid] = txRecord{status: StatusAborted}
+	delete(m.active, xid)
+	m.mu.Unlock()
+	close(a.done)
+}
+
+// Status returns the recorded fate of xid and, if committed, its commit
+// sequence number. Transactions below the truncated region of the log are
+// reported committed with an unknown (zero) sequence number.
+func (m *Manager) Status(xid TxID) (Status, SeqNo) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if xid < m.logFloor {
+		return StatusCommitted, InvalidSeqNo
+	}
+	rec, ok := m.log[xid]
+	if !ok {
+		return StatusAborted, InvalidSeqNo
+	}
+	return rec.status, rec.commitSeq
+}
+
+// IsCommitted reports whether xid committed.
+func (m *Manager) IsCommitted(xid TxID) bool {
+	st, _ := m.Status(xid)
+	return st == StatusCommitted
+}
+
+// CommitSeq returns xid's commit sequence number, or InvalidSeqNo if xid
+// has not committed.
+func (m *Manager) CommitSeq(xid TxID) SeqNo {
+	st, seq := m.Status(xid)
+	if st != StatusCommitted {
+		return InvalidSeqNo
+	}
+	return seq
+}
+
+// Visible reports whether the effects of xid are visible to snap: xid is
+// in the snapshot's visible set and xid committed.
+func (m *Manager) Visible(xid TxID, snap *Snapshot) bool {
+	if !snap.Sees(xid) {
+		return false
+	}
+	return m.IsCommitted(xid)
+}
+
+// Done returns a channel that is closed when xid commits or aborts.
+// If xid has already finished, the returned channel is already closed.
+func (m *Manager) Done(xid TxID) <-chan struct{} {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if a, ok := m.active[xid]; ok {
+		return a.done
+	}
+	closed := make(chan struct{})
+	close(closed)
+	return closed
+}
+
+// ActiveCount returns the number of in-progress transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.active)
+}
+
+// ActiveXIDs returns the in-progress transaction IDs in unspecified order.
+func (m *Manager) ActiveXIDs() []TxID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	xids := make([]TxID, 0, len(m.active))
+	for xid := range m.active {
+		xids = append(xids, xid)
+	}
+	return xids
+}
+
+// CurrentSeq returns the current value of the commit-sequence counter.
+func (m *Manager) CurrentSeq() SeqNo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.commitSeq
+}
+
+// NextXID returns the next transaction ID that will be assigned.
+func (m *Manager) NextXID() TxID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.nextXID
+}
+
+// OldestActiveXID returns the lowest in-progress xid, or the next xid to
+// be assigned if no transaction is active. The SSI layer uses this to
+// decide when committed-transaction state can be cleaned up.
+func (m *Manager) OldestActiveXID() TxID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	oldest := m.nextXID
+	for xid := range m.active {
+		if xid < oldest {
+			oldest = xid
+		}
+	}
+	return oldest
+}
+
+// TruncateLog discards commit-log entries for transactions with
+// xid < floor, which must all have committed or aborted. PostgreSQL
+// similarly truncates pg_clog once no snapshot can reference old xids.
+// Entries for aborted transactions below the floor must not be truncated
+// by callers that still hold versions created by them; the engine only
+// truncates below the oldest snapshot's xmin after vacuuming.
+func (m *Manager) TruncateLog(floor TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if floor <= m.logFloor {
+		return
+	}
+	for xid := range m.log {
+		if xid < floor {
+			delete(m.log, xid)
+		}
+	}
+	m.logFloor = floor
+}
+
+// LogSize returns the number of entries currently in the commit log.
+func (m *Manager) LogSize() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.log)
+}

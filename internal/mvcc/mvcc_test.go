@@ -1,0 +1,209 @@
+package mvcc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBeginAssignsIncreasingXIDs(t *testing.T) {
+	m := NewManager()
+	a, b, c := m.Begin(), m.Begin(), m.Begin()
+	if !(a < b && b < c) {
+		t.Fatalf("xids not increasing: %d %d %d", a, b, c)
+	}
+	if a == InvalidTxID {
+		t.Fatal("first xid must not be the invalid id")
+	}
+}
+
+func TestSnapshotExcludesInProgress(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	snap := m.TakeSnapshot()
+	if snap.Sees(a) {
+		t.Fatal("snapshot must not see in-progress transaction")
+	}
+	if !snap.ConcurrentWith(a) {
+		t.Fatal("in-progress transaction is concurrent with the snapshot")
+	}
+	m.Commit(a)
+	if snap.Sees(a) {
+		t.Fatal("old snapshot must not see a commit that happened after it")
+	}
+	snap2 := m.TakeSnapshot()
+	if !snap2.Sees(a) {
+		t.Fatal("new snapshot must see the committed transaction")
+	}
+	if !m.Visible(a, snap2) {
+		t.Fatal("Visible must confirm committed + in snapshot")
+	}
+}
+
+func TestSnapshotExcludesFutureXIDs(t *testing.T) {
+	m := NewManager()
+	snap := m.TakeSnapshot()
+	b := m.Begin()
+	m.Commit(b)
+	if snap.Sees(b) {
+		t.Fatal("snapshot must not see transactions started after it")
+	}
+	if !snap.ConcurrentWith(b) {
+		t.Fatal("later transaction counts as concurrent")
+	}
+}
+
+func TestAbortedNeverVisible(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	m.Abort(a)
+	snap := m.TakeSnapshot()
+	if m.Visible(a, snap) {
+		t.Fatal("aborted transaction must never be visible")
+	}
+	if st, _ := m.Status(a); st != StatusAborted {
+		t.Fatalf("status = %v, want aborted", st)
+	}
+}
+
+func TestCommitSeqsAreStrictlyIncreasing(t *testing.T) {
+	m := NewManager()
+	var last SeqNo
+	for i := 0; i < 100; i++ {
+		x := m.Begin()
+		seq := m.Commit(x)
+		if seq <= last {
+			t.Fatalf("commit seq %d not greater than previous %d", seq, last)
+		}
+		last = seq
+	}
+}
+
+func TestSnapshotSeqNoOrdersCommits(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	seqA := m.Commit(a)
+	snap := m.TakeSnapshot()
+	b := m.Begin()
+	seqB := m.Commit(b)
+	if !(seqA <= snap.SeqNo) {
+		t.Fatal("a committed before the snapshot")
+	}
+	if seqB <= snap.SeqNo {
+		t.Fatal("b committed after the snapshot")
+	}
+}
+
+func TestDoneChannelClosesOnFinish(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	done := m.Done(a)
+	select {
+	case <-done:
+		t.Fatal("done closed before finish")
+	default:
+	}
+	m.Commit(a)
+	<-done // must not hang
+
+	// Done of a finished transaction is already closed.
+	<-m.Done(a)
+}
+
+func TestOldestActiveXID(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if got := m.OldestActiveXID(); got != a {
+		t.Fatalf("oldest = %d, want %d", got, a)
+	}
+	m.Commit(a)
+	if got := m.OldestActiveXID(); got != b {
+		t.Fatalf("oldest = %d, want %d", got, b)
+	}
+	m.Commit(b)
+	if got := m.OldestActiveXID(); got != m.NextXID() {
+		t.Fatalf("oldest with none active = %d, want next xid %d", got, m.NextXID())
+	}
+}
+
+func TestTruncateLog(t *testing.T) {
+	m := NewManager()
+	var xids []TxID
+	for i := 0; i < 10; i++ {
+		x := m.Begin()
+		m.Commit(x)
+		xids = append(xids, x)
+	}
+	m.TruncateLog(xids[5])
+	if m.LogSize() != 5 {
+		t.Fatalf("log size = %d, want 5", m.LogSize())
+	}
+	// Truncated xids report committed.
+	if st, _ := m.Status(xids[0]); st != StatusCommitted {
+		t.Fatalf("truncated xid status = %v, want committed", st)
+	}
+}
+
+func TestConcurrentBeginCommit(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				x := m.Begin()
+				if j%2 == 0 {
+					m.Commit(x)
+				} else {
+					m.Abort(x)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.ActiveCount() != 0 {
+		t.Fatalf("active = %d, want 0", m.ActiveCount())
+	}
+}
+
+// Property: a snapshot sees exactly the transactions that committed
+// before it was taken.
+func TestQuickSnapshotVisibility(t *testing.T) {
+	f := func(ops []bool) bool {
+		m := NewManager()
+		committedBefore := map[TxID]bool{}
+		var open []TxID
+		for _, commit := range ops {
+			if commit && len(open) > 0 {
+				x := open[0]
+				open = open[1:]
+				m.Commit(x)
+				committedBefore[x] = true
+			} else {
+				open = append(open, m.Begin())
+			}
+		}
+		snap := m.TakeSnapshot()
+		// Everything committed so far must be visible.
+		for x := range committedBefore {
+			if !m.Visible(x, snap) {
+				return false
+			}
+		}
+		// Everything still open must be invisible and concurrent.
+		for _, x := range open {
+			if m.Visible(x, snap) || !snap.ConcurrentWith(x) {
+				return false
+			}
+		}
+		// A transaction committing after the snapshot stays invisible.
+		late := m.Begin()
+		m.Commit(late)
+		return !m.Visible(late, snap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,572 @@
+// Package storage implements a versioned tuple heap in the style of
+// PostgreSQL's storage manager. Each logical row is a chain of tuple
+// versions; each version carries the transaction ID that created it
+// (xmin) and, once deleted or superseded, the transaction that did so
+// (xmax). Updates never modify a version in place: they stamp the old
+// version's xmax and prepend a new version, exactly the model §5.1 of the
+// paper describes.
+//
+// Tuple-level write locks are represented by an in-progress xmax, reusing
+// the tuple header the way PostgreSQL does; a writer that finds an
+// in-progress xmax blocks until that transaction finishes, then applies
+// snapshot isolation's first-updater-wins rule.
+//
+// The heap assigns every tuple version a heap page number so the SSI lock
+// manager in internal/core can take SIREAD locks at tuple, page, and
+// relation granularity and promote between them.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgssi/internal/mvcc"
+	"pgssi/internal/waitgraph"
+)
+
+// Errors returned by heap operations.
+var (
+	// ErrNotFound reports that no version of the key is visible to the
+	// snapshot.
+	ErrNotFound = errors.New("storage: key not found")
+	// ErrDuplicateKey reports an insert of a key that already has a
+	// live visible (or committed concurrent) version.
+	ErrDuplicateKey = errors.New("storage: duplicate key")
+	// ErrWriteConflict reports that snapshot isolation's
+	// first-updater-wins rule rejected the write: a concurrent
+	// transaction updated or deleted the same tuple and committed.
+	ErrWriteConflict = errors.New("storage: concurrent update")
+	// ErrDeadlock reports that blocking on a tuple lock would deadlock.
+	ErrDeadlock = waitgraph.ErrDeadlock
+)
+
+// TuplesPerPage is the number of tuple versions placed on one simulated
+// heap page. It only affects lock granularity, not correctness.
+const TuplesPerPage = 64
+
+// Tuple is one version of a row. Fields mirror the PostgreSQL tuple
+// header bits that matter for visibility and SSI.
+type Tuple struct {
+	Key   string
+	Value []byte
+	// Xmin is the transaction that created this version.
+	Xmin mvcc.TxID
+	// Xmax is the transaction that deleted or superseded this version;
+	// zero while the version is live. An in-progress xmax doubles as
+	// the tuple write lock.
+	Xmax mvcc.TxID
+	// SubMin and SubMax are the subtransaction IDs within Xmin / Xmax
+	// that performed the write, for savepoint rollback (§7.3).
+	SubMin, SubMax int32
+	// Page is the simulated heap page this version lives on.
+	Page int64
+	// Older points to the previous version of the row, or nil.
+	Older *Tuple
+}
+
+// ReadResult is the outcome of a visibility-checked read.
+type ReadResult struct {
+	// Tuple is the version visible to the snapshot, or nil if none.
+	Tuple *Tuple
+	// ConflictOut lists concurrent serializable-relevant transactions
+	// whose writes to this row were invisible to the reader: creators
+	// of newer versions and in-flight or later-committed deleters.
+	// Each entry is an rw-antidependency reader → writer that the SSI
+	// layer records (§5.2: "if the write happens first, the conflict
+	// can be inferred from the MVCC data").
+	ConflictOut []mvcc.TxID
+}
+
+// Config controls heap behaviour.
+type Config struct {
+	// IODelay, if nonzero, simulates a storage device: each heap page
+	// access that misses the simulated buffer cache sleeps this long.
+	// Used by the disk-bound benchmark configuration (Figure 5b).
+	IODelay time.Duration
+	// CacheMissRatio is the probability in [0,1] that a page access
+	// pays IODelay. Zero means every access is a hit.
+	CacheMissRatio float64
+}
+
+// Table is a heap of versioned rows keyed by string, sharded for
+// concurrency. Ordering and range scans are provided by the B+-tree
+// index layered above in internal/btree; the heap itself is unordered.
+type Table struct {
+	name   string
+	cfg    Config
+	shards [shardCount]shard
+	// pageSeq allocates heap page slots; page = seq / TuplesPerPage.
+	pageSeq atomic.Int64
+	// stats
+	ioAccesses atomic.Int64
+	ioMisses   atomic.Int64
+}
+
+const shardCount = 64
+
+type shard struct {
+	mu   sync.Mutex
+	rows map[string]*Tuple // head of version chain (newest first)
+}
+
+// NewTable creates an empty heap named name.
+func NewTable(name string, cfg Config) *Table {
+	t := &Table{name: name, cfg: cfg}
+	for i := range t.shards {
+		t.shards[i].rows = make(map[string]*Tuple)
+	}
+	return t
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+func (t *Table) shardFor(key string) *shard {
+	return &t.shards[fnv32(key)%shardCount]
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// allocPage assigns a heap page for a new tuple version.
+func (t *Table) allocPage() int64 {
+	return t.pageSeq.Add(1) / TuplesPerPage
+}
+
+// simulateIO charges one page access against the simulated device.
+func (t *Table) simulateIO() {
+	if t.cfg.IODelay <= 0 {
+		return
+	}
+	t.ioAccesses.Add(1)
+	if t.cfg.CacheMissRatio > 0 && rand.Float64() < t.cfg.CacheMissRatio {
+		t.ioMisses.Add(1)
+		time.Sleep(t.cfg.IODelay)
+	}
+}
+
+// IOStats reports simulated page accesses and misses.
+func (t *Table) IOStats() (accesses, misses int64) {
+	return t.ioAccesses.Load(), t.ioMisses.Load()
+}
+
+// Get returns the version of key visible to snap, along with the MVCC
+// conflict-out set described on ReadResult. self is the reading
+// transaction's xid (InvalidTxID for transactions that have not written).
+func (t *Table) Get(key string, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manager) ReadResult {
+	t.simulateIO()
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	head := pruneAborted(sh, key, mgr)
+	return readChain(head, snap, self, mgr)
+}
+
+// readChain walks a version chain newest-first and applies PostgreSQL's
+// visibility rules, collecting rw conflict-out transactions on the way.
+func readChain(head *Tuple, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manager) ReadResult {
+	var res ReadResult
+	for v := head; v != nil; v = v.Older {
+		if v.Xmin == self {
+			// Own write: visible unless we deleted it ourselves.
+			if v.Xmax == self {
+				return res
+			}
+			res.Tuple = v
+			return res
+		}
+		st, _ := mgr.Status(v.Xmin)
+		switch st {
+		case mvcc.StatusAborted:
+			continue
+		case mvcc.StatusInProgress:
+			// Created by a concurrent, still-running transaction:
+			// invisible, and an rw conflict out for serializable
+			// readers (the reader must precede the writer).
+			res.ConflictOut = append(res.ConflictOut, v.Xmin)
+			continue
+		case mvcc.StatusCommitted:
+			if !snap.Sees(v.Xmin) {
+				// Committed after our snapshot: concurrent.
+				res.ConflictOut = append(res.ConflictOut, v.Xmin)
+				continue
+			}
+		}
+		// v was created by a transaction visible to the snapshot.
+		// Check its deletion status.
+		if v.Xmax == 0 {
+			res.Tuple = v
+			return res
+		}
+		if v.Xmax == self {
+			// Deleted by ourselves.
+			return res
+		}
+		xst, _ := mgr.Status(v.Xmax)
+		switch xst {
+		case mvcc.StatusAborted:
+			res.Tuple = v
+			return res
+		case mvcc.StatusInProgress:
+			res.ConflictOut = append(res.ConflictOut, v.Xmax)
+			res.Tuple = v
+			return res
+		case mvcc.StatusCommitted:
+			if snap.Sees(v.Xmax) {
+				// Deleted before our snapshot: row is gone.
+				return res
+			}
+			// Deleted by a concurrent transaction that committed
+			// after our snapshot: still visible to us, and an rw
+			// conflict out.
+			res.ConflictOut = append(res.ConflictOut, v.Xmax)
+			res.Tuple = v
+			return res
+		}
+	}
+	return res
+}
+
+// pruneAborted drops leading versions created by aborted transactions and
+// clears aborted xmax stamps, keeping chains tidy. Caller holds sh.mu.
+func pruneAborted(sh *shard, key string, mgr *mvcc.Manager) *Tuple {
+	head := sh.rows[key]
+	for head != nil {
+		st, _ := mgr.Status(head.Xmin)
+		if st != mvcc.StatusAborted {
+			break
+		}
+		head = head.Older
+	}
+	if head == nil {
+		delete(sh.rows, key)
+		return nil
+	}
+	if sh.rows[key] != head {
+		sh.rows[key] = head
+	}
+	if head.Xmax != 0 {
+		if st, _ := mgr.Status(head.Xmax); st == mvcc.StatusAborted {
+			head.Xmax = 0
+			head.SubMax = 0
+		}
+	}
+	return head
+}
+
+// WriteResult describes a successful write for the benefit of the SSI
+// layer: which heap pages are involved so SIREAD locks can be checked and
+// the write-lock-drops-SIREAD optimization applied.
+type WriteResult struct {
+	// OldPage is the heap page of the superseded version (update and
+	// delete); readers' tuple-granularity SIREAD locks name this page.
+	OldPage int64
+	// NewPage is the heap page of the newly created version (insert
+	// and update).
+	NewPage int64
+}
+
+// Insert creates the first live version of key. It fails with
+// ErrDuplicateKey if a visible live version exists or a concurrent
+// transaction committed one; if a concurrent in-progress transaction
+// holds the key, Insert blocks until that transaction finishes, matching
+// PostgreSQL's behaviour on unique-index conflicts.
+func (t *Table) Insert(key string, value []byte, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph) (WriteResult, error) {
+	t.simulateIO()
+	sh := t.shardFor(key)
+	for {
+		sh.mu.Lock()
+		head := pruneAborted(sh, key, mgr)
+		if head == nil {
+			nv := &Tuple{Key: key, Value: value, Xmin: xid, SubMin: subID, Page: t.allocPage()}
+			sh.rows[key] = nv
+			sh.mu.Unlock()
+			return WriteResult{OldPage: -1, NewPage: nv.Page}, nil
+		}
+		// Some version chain exists. Determine whether the newest
+		// version is live for us or for a concurrent transaction.
+		if head.Xmin == xid && head.Xmax == xid {
+			// We deleted our own version earlier; re-inserting is
+			// allowed and creates a fresh version.
+			nv := &Tuple{Key: key, Value: value, Xmin: xid, SubMin: subID, Page: t.allocPage(), Older: head}
+			sh.rows[key] = nv
+			sh.mu.Unlock()
+			return WriteResult{OldPage: head.Page, NewPage: nv.Page}, nil
+		}
+		st, _ := mgr.Status(head.Xmin)
+		if st == mvcc.StatusInProgress && head.Xmin != xid {
+			holder := head.Xmin
+			sh.mu.Unlock()
+			if err := t.waitFor(xid, holder, mgr, wg); err != nil {
+				return WriteResult{}, err
+			}
+			continue
+		}
+		// Creator committed (or is us). Is the row currently deleted?
+		res := readChain(head, snap, xid, mgr)
+		if res.Tuple != nil {
+			sh.mu.Unlock()
+			return WriteResult{}, ErrDuplicateKey
+		}
+		if head.Xmax == 0 && st == mvcc.StatusCommitted && !snap.Sees(head.Xmin) {
+			// A concurrent transaction inserted the key and
+			// committed: unique violation even though we cannot
+			// see the row.
+			sh.mu.Unlock()
+			return WriteResult{}, ErrDuplicateKey
+		}
+		if head.Xmax != 0 && head.Xmax != xid {
+			if xst, _ := mgr.Status(head.Xmax); xst == mvcc.StatusInProgress {
+				holder := head.Xmax
+				sh.mu.Unlock()
+				if err := t.waitFor(xid, holder, mgr, wg); err != nil {
+					return WriteResult{}, err
+				}
+				continue
+			}
+		}
+		// Row is dead for everyone relevant: safe to create anew.
+		nv := &Tuple{Key: key, Value: value, Xmin: xid, SubMin: subID, Page: t.allocPage(), Older: head}
+		sh.rows[key] = nv
+		sh.mu.Unlock()
+		return WriteResult{OldPage: head.Page, NewPage: nv.Page}, nil
+	}
+}
+
+// Update replaces the visible version of key with a new version holding
+// value. It implements snapshot isolation's write protocol: block on an
+// in-progress updater, then fail with ErrWriteConflict if a concurrent
+// transaction committed a change to the row.
+func (t *Table) Update(key string, value []byte, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph) (WriteResult, error) {
+	return t.modify(key, value, false, xid, subID, snap, mgr, wg)
+}
+
+// Delete stamps the visible version of key as deleted by xid, with the
+// same blocking and first-updater-wins behaviour as Update.
+func (t *Table) Delete(key string, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph) (WriteResult, error) {
+	return t.modify(key, nil, true, xid, subID, snap, mgr, wg)
+}
+
+func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph) (WriteResult, error) {
+	t.simulateIO()
+	sh := t.shardFor(key)
+	for {
+		sh.mu.Lock()
+		head := pruneAborted(sh, key, mgr)
+		if head == nil {
+			sh.mu.Unlock()
+			return WriteResult{}, ErrNotFound
+		}
+		// If the newest version belongs to an in-progress concurrent
+		// transaction, that transaction holds the tuple write lock.
+		if head.Xmin != xid {
+			if st, _ := mgr.Status(head.Xmin); st == mvcc.StatusInProgress {
+				holder := head.Xmin
+				sh.mu.Unlock()
+				if err := t.waitFor(xid, holder, mgr, wg); err != nil {
+					return WriteResult{}, err
+				}
+				continue
+			}
+		}
+		res := readChain(head, snap, xid, mgr)
+		if res.Tuple == nil {
+			// Nothing visible. If a concurrent committed
+			// transaction owns the newest version, this is a
+			// first-updater-wins conflict; otherwise the row is
+			// simply absent.
+			if st, _ := mgr.Status(head.Xmin); head.Xmin != xid && st == mvcc.StatusCommitted && !snap.Sees(head.Xmin) {
+				sh.mu.Unlock()
+				return WriteResult{}, ErrWriteConflict
+			}
+			if head.Xmax != 0 && head.Xmax != xid {
+				if xst, _ := mgr.Status(head.Xmax); xst == mvcc.StatusCommitted && !snap.Sees(head.Xmax) {
+					sh.mu.Unlock()
+					return WriteResult{}, ErrWriteConflict
+				}
+			}
+			sh.mu.Unlock()
+			return WriteResult{}, ErrNotFound
+		}
+		v := res.Tuple
+		if v != head {
+			// A newer version exists that we cannot see: it was
+			// created by a concurrent transaction. Its creator is
+			// committed (in-progress creators were handled above),
+			// so first-updater-wins rejects us.
+			sh.mu.Unlock()
+			return WriteResult{}, ErrWriteConflict
+		}
+		if v.Xmax != 0 && v.Xmax != xid {
+			xst, _ := mgr.Status(v.Xmax)
+			switch xst {
+			case mvcc.StatusInProgress:
+				holder := v.Xmax
+				sh.mu.Unlock()
+				if err := t.waitFor(xid, holder, mgr, wg); err != nil {
+					return WriteResult{}, err
+				}
+				continue
+			case mvcc.StatusCommitted:
+				// Concurrent delete/update committed while we
+				// were deciding: conflict.
+				sh.mu.Unlock()
+				return WriteResult{}, ErrWriteConflict
+			case mvcc.StatusAborted:
+				v.Xmax = 0
+				v.SubMax = 0
+			}
+		}
+		// We hold the tuple: stamp xmax, and for updates prepend the
+		// new version.
+		v.Xmax = xid
+		v.SubMax = subID
+		wr := WriteResult{OldPage: v.Page, NewPage: -1}
+		if !del {
+			nv := &Tuple{Key: key, Value: value, Xmin: xid, SubMin: subID, Page: t.allocPage(), Older: v}
+			sh.rows[key] = nv
+			wr.NewPage = nv.Page
+		}
+		sh.mu.Unlock()
+		return wr, nil
+	}
+}
+
+// waitFor blocks xid until holder finishes, registering the wait in the
+// deadlock graph.
+func (t *Table) waitFor(xid, holder mvcc.TxID, mgr *mvcc.Manager, wg *waitgraph.Graph) error {
+	if wg != nil {
+		if err := wg.Wait(xid, holder); err != nil {
+			return err
+		}
+		defer wg.Done(xid)
+	}
+	<-mgr.Done(holder)
+	return nil
+}
+
+// UndoSubxact removes the effects xid made to key at or after subID:
+// versions created are unlinked and xmax stamps are cleared. The engine
+// calls this for every key written in a rolled-back savepoint scope
+// (§7.3). It is a no-op for keys the subtransaction did not touch.
+func (t *Table) UndoSubxact(key string, xid mvcc.TxID, subID int32) {
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	head := sh.rows[key]
+	// Unlink versions created by (xid, >=subID) from the head of the
+	// chain. Only our own uncommitted versions can sit above committed
+	// ones, so scanning from the head suffices.
+	for head != nil && head.Xmin == xid && head.SubMin >= subID {
+		head = head.Older
+	}
+	if head == nil {
+		delete(sh.rows, key)
+		return
+	}
+	sh.rows[key] = head
+	if head.Xmax == xid && head.SubMax >= subID {
+		head.Xmax = 0
+		head.SubMax = 0
+	}
+}
+
+// ForEach invokes fn for every row visible to snap, shard by shard, in
+// unspecified order. It returns the union of conflict-out transactions
+// observed. Full-table (sequential) scans go through this path; ordered
+// scans go through the B+-tree index instead.
+func (t *Table) ForEach(snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manager, fn func(tu *Tuple) bool) []mvcc.TxID {
+	var conflicts []mvcc.TxID
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		type visible struct{ tu *Tuple }
+		var out []visible
+		for key, head := range sh.rows {
+			_ = key
+			res := readChain(head, snap, self, mgr)
+			conflicts = append(conflicts, res.ConflictOut...)
+			if res.Tuple != nil {
+				out = append(out, visible{res.Tuple})
+			}
+		}
+		sh.mu.Unlock()
+		for _, v := range out {
+			t.simulateIO()
+			if !fn(v.tu) {
+				return conflicts
+			}
+		}
+	}
+	return conflicts
+}
+
+// Len returns the number of row chains (live or dead) in the heap.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.rows)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Vacuum removes versions that can no longer be seen by any snapshot
+// whose visibility horizon is horizonXID: versions superseded by a
+// committed transaction below the horizon, and aborted detritus. It
+// returns the number of versions removed.
+func (t *Table) Vacuum(horizon *mvcc.Snapshot, mgr *mvcc.Manager) int {
+	removed := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for key, head := range sh.rows {
+			head = pruneAborted(sh, key, mgr)
+			if head == nil {
+				continue
+			}
+			// Find the newest version visible to the horizon; all
+			// versions older than it are unreachable.
+			cut := head
+			for cut != nil {
+				if mgr.Visible(cut.Xmin, horizon) {
+					break
+				}
+				cut = cut.Older
+			}
+			if cut != nil && cut.Older != nil {
+				for v := cut.Older; v != nil; v = v.Older {
+					removed++
+				}
+				cut.Older = nil
+			}
+			// If the sole remaining version is a committed delete
+			// visible to everyone, drop the row entirely.
+			if head.Older == nil && head.Xmax != 0 {
+				if st, _ := mgr.Status(head.Xmax); st == mvcc.StatusCommitted && horizon.Sees(head.Xmax) {
+					delete(sh.rows, key)
+					removed++
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// String implements fmt.Stringer for debugging.
+func (t *Table) String() string {
+	return fmt.Sprintf("table %s (%d rows)", t.name, t.Len())
+}

@@ -1,0 +1,349 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pgssi/internal/mvcc"
+	"pgssi/internal/waitgraph"
+)
+
+type harness struct {
+	t   *testing.T
+	mgr *mvcc.Manager
+	tbl *Table
+	wg  *waitgraph.Graph
+}
+
+func newHarness(t *testing.T) *harness {
+	return &harness{t: t, mgr: mvcc.NewManager(), tbl: NewTable("t", Config{}), wg: waitgraph.New()}
+}
+
+type txn struct {
+	xid  mvcc.TxID
+	snap *mvcc.Snapshot
+}
+
+func (h *harness) begin() *txn {
+	xid := h.mgr.Begin()
+	return &txn{xid: xid, snap: h.mgr.TakeSnapshot()}
+}
+
+func (h *harness) insert(tx *txn, key, val string) error {
+	_, err := h.tbl.Insert(key, []byte(val), tx.xid, 0, tx.snap, h.mgr, h.wg)
+	return err
+}
+
+func (h *harness) update(tx *txn, key, val string) error {
+	_, err := h.tbl.Update(key, []byte(val), tx.xid, 0, tx.snap, h.mgr, h.wg)
+	return err
+}
+
+func (h *harness) get(tx *txn, key string) (string, bool) {
+	res := h.tbl.Get(key, tx.snap, tx.xid, h.mgr)
+	if res.Tuple == nil {
+		return "", false
+	}
+	return string(res.Tuple.Value), true
+}
+
+func TestInsertVisibleAfterCommitOnly(t *testing.T) {
+	h := newHarness(t)
+	w := h.begin()
+	if err := h.insert(w, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	// Own write visible to self.
+	if v, ok := h.get(w, "a"); !ok || v != "1" {
+		t.Fatalf("own write invisible: %q %v", v, ok)
+	}
+	// Invisible to a concurrent reader.
+	r := h.begin()
+	if _, ok := h.get(r, "a"); ok {
+		t.Fatal("uncommitted insert visible to concurrent snapshot")
+	}
+	h.mgr.Commit(w.xid)
+	// Still invisible to the old snapshot.
+	if _, ok := h.get(r, "a"); ok {
+		t.Fatal("commit after snapshot must stay invisible")
+	}
+	// Visible to a new snapshot.
+	r2 := h.begin()
+	if v, ok := h.get(r2, "a"); !ok || v != "1" {
+		t.Fatalf("committed insert invisible: %q %v", v, ok)
+	}
+}
+
+func TestConflictOutReportsConcurrentWriter(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	if err := h.insert(seed, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Commit(seed.xid)
+
+	r := h.begin()
+	w := h.begin()
+	if err := h.update(w, "a", "2"); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Commit(w.xid)
+
+	res := h.tbl.Get("a", r.snap, r.xid, h.mgr)
+	if res.Tuple == nil || string(res.Tuple.Value) != "1" {
+		t.Fatalf("reader must still see old version, got %v", res.Tuple)
+	}
+	found := false
+	for _, x := range res.ConflictOut {
+		if x == w.xid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("conflict-out must name the concurrent writer %d, got %v", w.xid, res.ConflictOut)
+	}
+}
+
+func TestFirstUpdaterWins(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	_ = h.insert(seed, "a", "1")
+	h.mgr.Commit(seed.xid)
+
+	t1 := h.begin()
+	t2 := h.begin()
+	if err := h.update(t1, "a", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Commit(t1.xid)
+	// t2's snapshot predates t1's commit: first-updater-wins.
+	if err := h.update(t2, "a", "t2"); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("want ErrWriteConflict, got %v", err)
+	}
+}
+
+func TestWriterBlocksOnInProgressHolderThenConflicts(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	_ = h.insert(seed, "a", "1")
+	h.mgr.Commit(seed.xid)
+
+	t1 := h.begin()
+	t2 := h.begin()
+	if err := h.update(t1, "a", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		errCh <- h.update(t2, "a", "t2")
+	}()
+	<-started
+	h.mgr.Commit(t1.xid)
+	if err := <-errCh; !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("blocked writer must fail after holder commits, got %v", err)
+	}
+}
+
+func TestWriterProceedsAfterHolderAborts(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	_ = h.insert(seed, "a", "1")
+	h.mgr.Commit(seed.xid)
+
+	t1 := h.begin()
+	t2 := h.begin()
+	if err := h.update(t1, "a", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- h.update(t2, "a", "t2") }()
+	h.mgr.Abort(t1.xid)
+	if err := <-errCh; err != nil {
+		t.Fatalf("writer must proceed after holder aborts: %v", err)
+	}
+	h.mgr.Commit(t2.xid)
+	r := h.begin()
+	if v, _ := h.get(r, "a"); v != "t2" {
+		t.Fatalf("value = %q, want t2", v)
+	}
+}
+
+func TestDeadlockDetectedOnTupleWaits(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	_ = h.insert(seed, "a", "1")
+	_ = h.insert(seed, "b", "1")
+	h.mgr.Commit(seed.xid)
+
+	t1 := h.begin()
+	t2 := h.begin()
+	if err := h.update(t1, "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.update(t2, "b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	// t1 waits for b (held by t2); t2 then waits for a (held by t1):
+	// one of them must observe the deadlock.
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); errs <- h.update(t1, "b", "y") }()
+	go func() { defer wg.Done(); errs <- h.update(t2, "a", "y") }()
+	// One waits forever unless the other is killed: simulate the
+	// engine aborting the deadlock victim.
+	var sawDeadlock bool
+	select {
+	case err := <-errs:
+		if errors.Is(err, ErrDeadlock) {
+			sawDeadlock = true
+		}
+	}
+	if !sawDeadlock {
+		t.Fatal("expected a deadlock error from one waiter")
+	}
+	// Abort both so the remaining waiter wakes.
+	h.mgr.Abort(t1.xid)
+	h.mgr.Abort(t2.xid)
+	wg.Wait()
+}
+
+func TestDeleteAndReinsert(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	_ = h.insert(seed, "a", "1")
+	h.mgr.Commit(seed.xid)
+
+	d := h.begin()
+	if _, err := h.tbl.Delete("a", d.xid, 0, d.snap, h.mgr, h.wg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.get(d, "a"); ok {
+		t.Fatal("own delete must hide the row")
+	}
+	h.mgr.Commit(d.xid)
+
+	i := h.begin()
+	if err := h.insert(i, "a", "2"); err != nil {
+		t.Fatalf("re-insert after committed delete: %v", err)
+	}
+	h.mgr.Commit(i.xid)
+	r := h.begin()
+	if v, _ := h.get(r, "a"); v != "2" {
+		t.Fatalf("value = %q, want 2", v)
+	}
+}
+
+func TestDuplicateInsertRejected(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	_ = h.insert(seed, "a", "1")
+	h.mgr.Commit(seed.xid)
+	w := h.begin()
+	if err := h.insert(w, "a", "2"); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("want ErrDuplicateKey, got %v", err)
+	}
+	// Insert of a key committed by a concurrent txn also fails.
+	early := h.begin()
+	w2 := h.begin()
+	_ = h.insert(w2, "b", "1")
+	h.mgr.Commit(w2.xid)
+	if err := h.insert(early, "b", "2"); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("concurrent duplicate: want ErrDuplicateKey, got %v", err)
+	}
+}
+
+func TestUpdateMissingKey(t *testing.T) {
+	h := newHarness(t)
+	w := h.begin()
+	if err := h.update(w, "nope", "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestSubxactUndoRestoresPreviousState(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	_ = h.insert(seed, "a", "base")
+	h.mgr.Commit(seed.xid)
+
+	tx := h.begin()
+	if _, err := h.tbl.Update("a", []byte("sub"), tx.xid, 1, tx.snap, h.mgr, h.wg); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.get(tx, "a"); v != "sub" {
+		t.Fatalf("value = %q, want sub", v)
+	}
+	h.tbl.UndoSubxact("a", tx.xid, 1)
+	if v, _ := h.get(tx, "a"); v != "base" {
+		t.Fatalf("after undo, value = %q, want base", v)
+	}
+	// The write lock must be released: another txn can update after we
+	// commit nothing on that key.
+	h.mgr.Commit(tx.xid)
+	o := h.begin()
+	if err := h.update(o, "a", "other"); err != nil {
+		t.Fatalf("update after undo: %v", err)
+	}
+}
+
+func TestForEachVisibility(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	for i := 0; i < 20; i++ {
+		_ = h.insert(seed, fmt.Sprintf("k%02d", i), "v")
+	}
+	h.mgr.Commit(seed.xid)
+	w := h.begin()
+	_ = h.insert(w, "uncommitted", "v")
+	r := h.begin()
+	n := 0
+	h.tbl.ForEach(r.snap, r.xid, h.mgr, func(tu *Tuple) bool { n++; return true })
+	if n != 20 {
+		t.Fatalf("visible rows = %d, want 20", n)
+	}
+	h.mgr.Abort(w.xid)
+}
+
+func TestVacuumRemovesDeadVersions(t *testing.T) {
+	h := newHarness(t)
+	seed := h.begin()
+	_ = h.insert(seed, "a", "0")
+	h.mgr.Commit(seed.xid)
+	for i := 0; i < 10; i++ {
+		w := h.begin()
+		if err := h.update(w, "a", fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		h.mgr.Commit(w.xid)
+	}
+	horizon := h.mgr.TakeSnapshot()
+	removed := h.tbl.Vacuum(horizon, h.mgr)
+	if removed < 9 {
+		t.Fatalf("vacuum removed %d versions, want >= 9", removed)
+	}
+	r := h.begin()
+	if v, _ := h.get(r, "a"); v != "9" {
+		t.Fatalf("value after vacuum = %q, want 9", v)
+	}
+}
+
+func TestPageAssignmentAdvances(t *testing.T) {
+	h := newHarness(t)
+	w := h.begin()
+	pages := map[int64]bool{}
+	for i := 0; i < TuplesPerPage*3; i++ {
+		wr, err := h.tbl.Insert(fmt.Sprintf("k%04d", i), nil, w.xid, 0, w.snap, h.mgr, h.wg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages[wr.NewPage] = true
+	}
+	if len(pages) < 3 {
+		t.Fatalf("expected at least 3 heap pages, got %d", len(pages))
+	}
+}

@@ -1,0 +1,101 @@
+// Package waitgraph maintains a transaction waits-for graph and detects
+// deadlocks by cycle checking. It is shared by the storage layer's tuple
+// write-lock waits (snapshot isolation's first-updater-wins blocking) and
+// by the strict two-phase locking baseline in internal/s2pl, which — like
+// PostgreSQL's heavyweight lock manager — must detect deadlocks among
+// blocked lock requests.
+package waitgraph
+
+import (
+	"errors"
+	"sync"
+
+	"pgssi/internal/mvcc"
+)
+
+// ErrDeadlock is returned when registering an edge would close a cycle in
+// the waits-for graph. The caller (the would-be waiter) should abort.
+var ErrDeadlock = errors.New("deadlock detected")
+
+// Graph is a concurrency-safe waits-for graph. Each waiter has at most
+// one outstanding wait edge at a time (a transaction blocks on a single
+// lock), but a holder may be waited on by many transactions.
+type Graph struct {
+	mu sync.Mutex
+	// waitsFor maps a waiting transaction to the set of transactions it
+	// is waiting on. S2PL lock waits can target several holders of a
+	// shared lock at once.
+	waitsFor map[mvcc.TxID]map[mvcc.TxID]struct{}
+}
+
+// New returns an empty waits-for graph.
+func New() *Graph {
+	return &Graph{waitsFor: make(map[mvcc.TxID]map[mvcc.TxID]struct{})}
+}
+
+// Wait registers that waiter blocks on each of holders. If adding these
+// edges would create a cycle, no edge is added and ErrDeadlock is
+// returned; the waiter is the chosen deadlock victim, matching
+// PostgreSQL's policy of aborting the transaction that ran the detector.
+func (g *Graph) Wait(waiter mvcc.TxID, holders ...mvcc.TxID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, h := range holders {
+		if h == waiter {
+			continue
+		}
+		if g.reachableLocked(h, waiter) {
+			return ErrDeadlock
+		}
+	}
+	set := g.waitsFor[waiter]
+	if set == nil {
+		set = make(map[mvcc.TxID]struct{}, len(holders))
+		g.waitsFor[waiter] = set
+	}
+	for _, h := range holders {
+		if h != waiter {
+			set[h] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Done removes all wait edges originating at waiter. It must be called
+// once the waiter stops blocking, whether it acquired the lock or gave up.
+func (g *Graph) Done(waiter mvcc.TxID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.waitsFor, waiter)
+}
+
+// reachableLocked reports whether target is reachable from start by
+// following waits-for edges. Caller holds g.mu.
+func (g *Graph) reachableLocked(start, target mvcc.TxID) bool {
+	if start == target {
+		return true
+	}
+	seen := map[mvcc.TxID]struct{}{start: {}}
+	stack := []mvcc.TxID{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range g.waitsFor[n] {
+			if next == target {
+				return true
+			}
+			if _, ok := seen[next]; !ok {
+				seen[next] = struct{}{}
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// Waiters returns the number of transactions currently blocked.
+func (g *Graph) Waiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.waitsFor)
+}

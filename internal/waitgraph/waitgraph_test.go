@@ -1,0 +1,94 @@
+package waitgraph
+
+import (
+	"errors"
+	"testing"
+
+	"pgssi/internal/mvcc"
+)
+
+func TestNoFalseDeadlock(t *testing.T) {
+	g := New()
+	if err := g.Wait(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Waiters() != 2 {
+		t.Fatalf("waiters = %d, want 2", g.Waiters())
+	}
+	g.Done(1)
+	g.Done(3)
+	if g.Waiters() != 0 {
+		t.Fatalf("waiters = %d, want 0", g.Waiters())
+	}
+}
+
+func TestDirectCycleDetected(t *testing.T) {
+	g := New()
+	if err := g.Wait(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(2, 1); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// The failed wait added no edge: 2 can wait on someone else.
+	if err := g.Wait(2, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitiveCycleDetected(t *testing.T) {
+	g := New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Wait(1, 2))
+	must(g.Wait(2, 3))
+	must(g.Wait(3, 4))
+	if err := g.Wait(4, 1); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock on 4→1, got %v", err)
+	}
+}
+
+func TestMultiHolderWaits(t *testing.T) {
+	g := New()
+	if err := g.Wait(1, 2, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Any holder closing a cycle triggers detection.
+	if err := g.Wait(3, 1); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := New()
+	if err := g.Wait(1, 1); err != nil {
+		t.Fatalf("self wait should be ignored, got %v", err)
+	}
+}
+
+func TestDoneBreaksCycleRisk(t *testing.T) {
+	g := New()
+	_ = g.Wait(1, 2)
+	g.Done(1)
+	if err := g.Wait(2, 1); err != nil {
+		t.Fatalf("after Done(1) no cycle exists: %v", err)
+	}
+}
+
+func TestManyDisjointChainsNoDeadlock(t *testing.T) {
+	g := New()
+	for i := mvcc.TxID(1); i < 100; i++ {
+		if err := g.Wait(i, i+1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Waiters() != 99 {
+		t.Fatalf("waiters = %d", g.Waiters())
+	}
+}

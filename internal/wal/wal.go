@@ -1,0 +1,131 @@
+// Package wal implements a logical write-ahead log with log-shipping
+// subscriptions, modelling PostgreSQL's streaming replication (§7.2 of
+// the paper). The master appends one record per committed read/write
+// transaction; the stream also carries safe-snapshot markers — the
+// mechanism the paper proposes ("adding information to the log stream
+// that identifies safe snapshots") so that replicas can run serializable
+// read-only transactions without tracking read dependencies.
+package wal
+
+import (
+	"sync"
+
+	"pgssi/internal/mvcc"
+)
+
+// Op is one logical change within a committed transaction.
+type Op struct {
+	Table  string
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// Record is one WAL entry: either a transaction's commit (Ops non-empty
+// or zero-op commit) or a safe-snapshot marker.
+type Record struct {
+	// Seq is the commit sequence number on the master; markers carry
+	// the sequence number of the last commit they follow.
+	Seq mvcc.SeqNo
+	// Ops are the transaction's writes in apply order.
+	Ops []Op
+	// SafeSnapshot marks a point in the stream at which no read/write
+	// serializable transaction was in flight on the master: a replica
+	// snapshot taken exactly here is safe (§4.2, §7.2).
+	SafeSnapshot bool
+}
+
+// Log is an in-memory WAL with replay-from-start subscriptions.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	subs    []chan Record
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{}
+}
+
+// Append adds a record and fans it out to subscribers. Subscribers that
+// fall behind block the appender — fine for a simulation; a production
+// system would buffer to disk.
+func (l *Log) Append(r Record) {
+	l.mu.Lock()
+	l.records = append(l.records, r)
+	subs := make([]chan Record, len(l.subs))
+	copy(subs, l.subs)
+	l.mu.Unlock()
+	for _, ch := range subs {
+		ch <- r
+	}
+}
+
+// Subscribe returns a channel that first replays every existing record
+// and then streams new ones. The returned cancel function detaches the
+// subscription and closes the channel.
+func (l *Log) Subscribe() (<-chan Record, func()) {
+	ch := make(chan Record, 1024)
+	l.mu.Lock()
+	backlog := make([]Record, len(l.records))
+	copy(backlog, l.records)
+	l.subs = append(l.subs, ch)
+	l.mu.Unlock()
+
+	out := make(chan Record, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(out)
+		for _, r := range backlog {
+			select {
+			case out <- r:
+			case <-done:
+				return
+			}
+		}
+		for {
+			select {
+			case r, ok := <-ch:
+				if !ok {
+					return
+				}
+				select {
+				case out <- r:
+				case <-done:
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	cancel := func() {
+		l.mu.Lock()
+		for i, s := range l.subs {
+			if s == ch {
+				l.subs = append(l.subs[:i], l.subs[i+1:]...)
+				break
+			}
+		}
+		l.mu.Unlock()
+		close(done)
+	}
+	return out, cancel
+}
+
+// Len returns the number of records appended so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a copy of all records (for tests).
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+
+	"pgssi"
+)
+
+// SIBENCH (§8.1, from Cahill's thesis): a single table of N ⟨key, value⟩
+// pairs; equal numbers of update transactions (set one random key's
+// value) and query transactions (scan the whole table for the key with
+// the lowest value). The query/update rw-conflict pattern is the worst
+// case for locking and the showcase for SSI's read-only optimizations:
+// at larger table sizes, query transactions run long enough to outlive
+// the updaters active at their snapshot and drop to safe-snapshot mode.
+
+// SIBench generates and runs the microbenchmark.
+type SIBench struct {
+	// Rows is the table size N (the x-axis of Figure 4).
+	Rows int
+}
+
+const siTable = "sibench"
+
+func sibenchKey(i int) string { return fmt.Sprintf("k%06d", i) }
+
+// Setup creates and populates the table.
+func (b SIBench) Setup(db *pgssi.DB) error {
+	if err := db.CreateTable(siTable); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewPCG(11, 7))
+	tx, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < b.Rows; i++ {
+		v := strconv.Itoa(rng.IntN(1_000_000))
+		if err := tx.Insert(siTable, sibenchKey(i), []byte(v)); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// Mix returns the 50/50 update/query mix.
+func (b SIBench) Mix() *Mix {
+	return NewMix().
+		Add(0.5, Job{Name: "update", Fn: b.update}).
+		Add(0.5, Job{Name: "query", ReadOnly: true, Fn: b.query})
+}
+
+// update sets one randomly selected key to a new random value.
+func (b SIBench) update(tx *pgssi.Tx, rng *rand.Rand) error {
+	k := sibenchKey(rng.IntN(b.Rows))
+	v := strconv.Itoa(rng.IntN(1_000_000))
+	return tx.Update(siTable, k, []byte(v))
+}
+
+// query scans the entire table to find the key with the lowest value.
+func (b SIBench) query(tx *pgssi.Tx, _ *rand.Rand) error {
+	best := ""
+	bestVal := 1 << 62
+	err := tx.Scan(siTable, "", "", func(k string, v []byte) bool {
+		n, _ := strconv.Atoi(string(v))
+		if best == "" || n < bestVal {
+			best, bestVal = k, n
+		}
+		return true
+	})
+	return err
+}
+
+// Run sets up a fresh database with cfg and measures the mix at the
+// given isolation level.
+func (b SIBench) Run(cfg pgssi.Config, opts RunOptions) (Result, error) {
+	db := pgssi.Open(cfg)
+	if err := b.Setup(db); err != nil {
+		return Result{}, err
+	}
+	return RunClosedLoop(db, b.Mix(), opts), nil
+}
+
+// SIBenchSeries holds normalized throughput for the Figure 4 series.
+type SIBenchSeries struct {
+	Rows    int
+	SI      float64 // absolute, txn/s (the 1.0x baseline)
+	SSI     float64 // relative to SI
+	SSINoRO float64 // relative to SI, read-only opts disabled
+	S2PL    float64 // relative to SI
+}
+
+// Figure4 runs the full SIBENCH sweep and returns one row per table size,
+// with SSI / SSI-no-r/o-opt / S2PL throughput normalized to SI — the
+// exact series of Figure 4.
+func Figure4(rows []int, opts RunOptions) ([]SIBenchSeries, error) {
+	var out []SIBenchSeries
+	for _, n := range rows {
+		b := SIBench{Rows: n}
+		si, err := b.Run(pgssi.Config{}, withLevel(opts, pgssi.RepeatableRead))
+		if err != nil {
+			return nil, err
+		}
+		ssi, err := b.Run(pgssi.Config{}, withLevel(opts, pgssi.Serializable))
+		if err != nil {
+			return nil, err
+		}
+		noRO, err := b.Run(pgssi.Config{DisableReadOnlyOpt: true}, withLevel(opts, pgssi.Serializable))
+		if err != nil {
+			return nil, err
+		}
+		s2pl, err := b.Run(pgssi.Config{}, withLevel(opts, pgssi.SerializableS2PL))
+		if err != nil {
+			return nil, err
+		}
+		row := SIBenchSeries{Rows: n, SI: si.Throughput}
+		if si.Throughput > 0 {
+			row.SSI = ssi.Throughput / si.Throughput
+			row.SSINoRO = noRO.Throughput / si.Throughput
+			row.S2PL = s2pl.Throughput / si.Throughput
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func withLevel(opts RunOptions, level pgssi.IsolationLevel) RunOptions {
+	opts.Level = level
+	return opts
+}

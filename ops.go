@@ -1,0 +1,430 @@
+package pgssi
+
+import (
+	"pgssi/internal/btree"
+	"pgssi/internal/core"
+	"pgssi/internal/s2pl"
+	"pgssi/internal/storage"
+)
+
+// storageTuple aliases the heap tuple type for callback signatures.
+type storageTuple = storage.Tuple
+
+// This file implements the data operations. Each operation has two
+// concurrency-control paths: the MVCC path (ReadCommitted /
+// RepeatableRead / Serializable, where Serializable adds the SSI hooks of
+// §5.2) and the strict two-phase locking path (§8's baseline).
+
+// Get returns the value of key in table visible to the transaction, or
+// ErrNotFound. Under Serializable it acquires a SIREAD lock on the tuple
+// (or on the index gap, if the key is absent) and flags MVCC-derived
+// rw-conflicts.
+func (tx *Tx) Get(table, key string) ([]byte, error) {
+	if err := tx.checkUsable(false); err != nil {
+		return nil, err
+	}
+	ti, err := tx.db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	if tx.level == SerializableS2PL {
+		return tx.s2plGet(ti, key)
+	}
+	snap := tx.snapshot()
+	// Traverse the index, taking the leaf-page SIREAD lock during the
+	// traversal (see btree.Lookup): PostgreSQL likewise predicate-locks
+	// every leaf page an index scan reads, which is what covers the
+	// gap when the key is absent.
+	var onPage func(btree.PageID)
+	if tx.x != nil && !tx.x.Safe() {
+		onPage = func(p btree.PageID) {
+			tx.db.ssi.AcquirePageLock(tx.x, ti.pkName, int64(p))
+		}
+	}
+	ti.pk.Lookup(key, onPage)
+	res := ti.heap.Get(key, snap, tx.xid, tx.db.mvcc)
+	if tx.x != nil {
+		if res.Tuple != nil {
+			if err := tx.db.ssi.CheckRead(tx.x, table, res.Tuple.Page, key, res.ConflictOut, tx.owns(table, key)); err != nil {
+				return nil, mapStorageErr(err)
+			}
+		} else if err := tx.db.ssi.CheckScanConflicts(tx.x, res.ConflictOut); err != nil {
+			return nil, mapStorageErr(err)
+		}
+	}
+	if res.Tuple == nil {
+		return nil, ErrNotFound
+	}
+	return res.Tuple.Value, nil
+}
+
+// Insert adds a new row. Fails with ErrDuplicateKey if a visible (or
+// concurrently committed) row exists.
+func (tx *Tx) Insert(table, key string, value []byte) error {
+	if err := tx.checkUsable(true); err != nil {
+		return err
+	}
+	ti, err := tx.db.table(table)
+	if err != nil {
+		return err
+	}
+	if tx.level == SerializableS2PL {
+		return tx.s2plInsert(ti, key, value)
+	}
+	snap := tx.snapshot()
+	_, err = ti.heap.Insert(key, value, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg)
+	if err != nil {
+		return mapStorageErr(err)
+	}
+	page, _, splits := ti.pk.Insert(key, "")
+	for _, sp := range splits {
+		tx.db.ssi.PageSplit(ti.pkName, int64(sp.Left), int64(sp.Right))
+	}
+	if tx.x != nil {
+		// Heap inserts are checked at relation granularity (new
+		// tuples cannot carry tuple locks); phantom conflicts are
+		// caught by the index-page check.
+		if err := tx.db.ssi.CheckWrite(tx.x, table, -1, ""); err != nil {
+			return mapStorageErr(err)
+		}
+		if err := tx.db.ssi.CheckIndexInsert(tx.x, ti.pkName, int64(page)); err != nil {
+			return mapStorageErr(err)
+		}
+	}
+	if err := tx.insertSecondaries(ti, key, value); err != nil {
+		return err
+	}
+	tx.recordWrite(table, key, value, false)
+	return nil
+}
+
+// insertSecondaries maintains secondary-index entries for (key, value).
+func (tx *Tx) insertSecondaries(ti *tableInfo, key string, value []byte) error {
+	for _, si := range ti.secondaries() {
+		ik, ok := si.fn(key, value)
+		if !ok {
+			continue
+		}
+		entry := ik + "\x00" + key
+		page, added, splits := si.tree.Insert(entry, key)
+		for _, sp := range splits {
+			tx.db.ssi.PageSplit(si.name, int64(sp.Left), int64(sp.Right))
+			if tx.level == SerializableS2PL {
+				tx.db.s2pl.PageSplit(si.name, core.PageTarget(si.name, int64(sp.Left)), core.PageTarget(si.name, int64(sp.Right)))
+			}
+		}
+		if !added {
+			continue
+		}
+		if tx.x != nil {
+			if err := tx.db.ssi.CheckIndexInsert(tx.x, si.name, int64(page)); err != nil {
+				return mapStorageErr(err)
+			}
+		}
+		if tx.level == SerializableS2PL {
+			if err := tx.db.s2pl.Acquire(tx.xid, core.PageTarget(si.name, int64(page)), s2pl.ModeX); err != nil {
+				return mapStorageErr(err)
+			}
+		}
+	}
+	return nil
+}
+
+// Update replaces the value of an existing row, following snapshot
+// isolation's first-updater-wins rule (blocking on an in-progress writer,
+// then failing with a serialization error if it committed).
+func (tx *Tx) Update(table, key string, value []byte) error {
+	if err := tx.checkUsable(true); err != nil {
+		return err
+	}
+	ti, err := tx.db.table(table)
+	if err != nil {
+		return err
+	}
+	if tx.level == SerializableS2PL {
+		return tx.s2plUpdate(ti, key, value, false)
+	}
+	snap := tx.snapshot()
+	wr, serr := ti.heap.Update(key, value, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg)
+	if serr != nil {
+		if tx.level == ReadCommitted {
+			// READ COMMITTED follows the update chain with a fresh
+			// snapshot rather than failing (EvalPlanQual).
+			return tx.readCommittedRetry(func() error {
+				var e error
+				wr, e = ti.heap.Update(key, value, tx.xid, tx.currentSubID(), tx.db.mvcc.TakeSnapshot(), tx.db.mvcc, tx.db.wg)
+				if e != nil {
+					return e
+				}
+				return tx.finishUpdate(ti, table, key, value, wr.OldPage)
+			}, serr)
+		}
+		return mapStorageErr(serr)
+	}
+	return tx.finishUpdate(ti, table, key, value, wr.OldPage)
+}
+
+func (tx *Tx) finishUpdate(ti *tableInfo, table, key string, value []byte, oldPage int64) error {
+	if tx.x != nil {
+		if err := tx.db.ssi.CheckWrite(tx.x, table, oldPage, key); err != nil {
+			return mapStorageErr(err)
+		}
+		if !tx.inSubxact() {
+			// §7.3: safe to drop our SIREAD lock once we hold the
+			// tuple write lock — except inside a subtransaction,
+			// where a savepoint rollback could release the write
+			// lock and leave the read unprotected.
+			tx.db.ssi.DropOwnTupleLock(tx.x, table, oldPage, key)
+		}
+	}
+	if err := tx.insertSecondaries(ti, key, value); err != nil {
+		return err
+	}
+	tx.recordWrite(table, key, value, false)
+	return nil
+}
+
+// readCommittedRetry retries op with fresh snapshots a bounded number of
+// times; fallback is returned if the conflict never clears.
+func (tx *Tx) readCommittedRetry(op func() error, fallback error) error {
+	for i := 0; i < 64; i++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if !IsSerializationFailure(mapStorageErr(err)) {
+			return mapStorageErr(err)
+		}
+	}
+	return mapStorageErr(fallback)
+}
+
+// Delete removes the visible version of key.
+func (tx *Tx) Delete(table, key string) error {
+	if err := tx.checkUsable(true); err != nil {
+		return err
+	}
+	ti, err := tx.db.table(table)
+	if err != nil {
+		return err
+	}
+	if tx.level == SerializableS2PL {
+		return tx.s2plUpdate(ti, key, nil, true)
+	}
+	snap := tx.snapshot()
+	wr, serr := ti.heap.Delete(key, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg)
+	if serr != nil {
+		return mapStorageErr(serr)
+	}
+	if tx.x != nil {
+		if err := tx.db.ssi.CheckWrite(tx.x, table, wr.OldPage, key); err != nil {
+			return mapStorageErr(err)
+		}
+		if !tx.inSubxact() {
+			tx.db.ssi.DropOwnTupleLock(tx.x, table, wr.OldPage, key)
+		}
+	}
+	tx.recordWrite(table, key, nil, true)
+	return nil
+}
+
+// Scan invokes fn for every visible row with lo <= key < hi (hi == ""
+// means unbounded) in key order. Returning false stops the scan. Under
+// Serializable the scan SIREAD-locks every index leaf page it traverses
+// (phantom protection) and every tuple it reads.
+func (tx *Tx) Scan(table, lo, hi string, fn func(key string, value []byte) bool) error {
+	if err := tx.checkUsable(false); err != nil {
+		return err
+	}
+	ti, err := tx.db.table(table)
+	if err != nil {
+		return err
+	}
+	if tx.level == SerializableS2PL {
+		return tx.s2plScan(ti, ti.pk, ti.pkName, lo, hi, func(entryKey, pk string) (string, bool) {
+			return entryKey, true
+		}, fn)
+	}
+	snap := tx.snapshot()
+	tracking := tx.x != nil && !tx.x.Safe()
+	var onPage func(btree.PageID)
+	if tracking {
+		onPage = func(p btree.PageID) {
+			tx.db.ssi.AcquirePageLock(tx.x, ti.pkName, int64(p))
+		}
+	}
+	var keys []string
+	ti.pk.Range(lo, hi, onPage, func(k, _ string) bool {
+		keys = append(keys, k)
+		return true
+	})
+	// Read all rows first, then run the SSI checks for the whole scan
+	// in one batch (one lock-manager critical section per scan rather
+	// than per tuple), then deliver.
+	type row struct {
+		key   string
+		value []byte
+	}
+	var rows []row
+	var items []core.ReadItem
+	for _, k := range keys {
+		res := ti.heap.Get(k, snap, tx.xid, tx.db.mvcc)
+		if tx.x != nil && (res.Tuple != nil || len(res.ConflictOut) > 0) {
+			it := core.ReadItem{ConflictOut: res.ConflictOut}
+			if res.Tuple != nil {
+				it.Page = res.Tuple.Page
+				it.Key = k
+				it.OwnWrite = tx.owns(table, k)
+			}
+			items = append(items, it)
+		}
+		if res.Tuple != nil {
+			rows = append(rows, row{k, res.Tuple.Value})
+		}
+	}
+	if tx.x != nil {
+		if err := tx.db.ssi.CheckReadBatch(tx.x, table, items); err != nil {
+			return mapStorageErr(err)
+		}
+	}
+	for _, r := range rows {
+		if !fn(r.key, r.value) {
+			break
+		}
+	}
+	return nil
+}
+
+// ScanIndex scans the secondary index idx of table for lo <= indexKey <
+// hi, invoking fn with the primary key and row value. Because index
+// entries are retained for every row version, each hit is rechecked
+// against the visible row before delivery.
+func (tx *Tx) ScanIndex(table, idx, lo, hi string, fn func(key string, value []byte) bool) error {
+	if err := tx.checkUsable(false); err != nil {
+		return err
+	}
+	ti, err := tx.db.table(table)
+	if err != nil {
+		return err
+	}
+	si, err := ti.index(idx)
+	if err != nil {
+		return err
+	}
+	// Entries are ik+"\x00"+pk; translate the range bounds.
+	elo := lo
+	ehi := hi
+	if ehi != "" {
+		// Entries for index key K sort as K+"\x00"+pk < K+"\x01", so
+		// the exclusive bound carries over directly.
+	}
+	if tx.level == SerializableS2PL {
+		return tx.s2plScan(ti, si.tree, si.name, elo, ehi, func(entryKey, pk string) (string, bool) {
+			return pk, true
+		}, tx.recheckWrap(ti, si, lo, hi, fn))
+	}
+	snap := tx.snapshot()
+	tracking := tx.x != nil && !tx.x.Safe()
+	var onPage func(btree.PageID)
+	if tracking {
+		onPage = func(p btree.PageID) {
+			tx.db.ssi.AcquirePageLock(tx.x, si.name, int64(p))
+		}
+	}
+	type hit struct{ ik, pk string }
+	var hits []hit
+	si.tree.Range(elo, ehi, onPage, func(entryKey, pk string) bool {
+		ik := entryKey
+		if n := len(pk); len(entryKey) > n && entryKey[len(entryKey)-n-1] == 0 {
+			ik = entryKey[:len(entryKey)-n-1]
+		}
+		hits = append(hits, hit{ik, pk})
+		return true
+	})
+	type row struct {
+		pk    string
+		value []byte
+	}
+	var rows []row
+	var items []core.ReadItem
+	for _, h := range hits {
+		res := ti.heap.Get(h.pk, snap, tx.xid, tx.db.mvcc)
+		if tx.x != nil && (res.Tuple != nil || len(res.ConflictOut) > 0) {
+			it := core.ReadItem{ConflictOut: res.ConflictOut}
+			if res.Tuple != nil {
+				it.Page = res.Tuple.Page
+				it.Key = h.pk
+				it.OwnWrite = tx.owns(table, h.pk)
+			}
+			items = append(items, it)
+		}
+		if res.Tuple == nil {
+			continue
+		}
+		// Recheck: the visible version must still match the index key.
+		ik, ok := si.fn(h.pk, res.Tuple.Value)
+		if !ok || ik != h.ik {
+			continue
+		}
+		rows = append(rows, row{h.pk, res.Tuple.Value})
+	}
+	if tx.x != nil {
+		if err := tx.db.ssi.CheckReadBatch(tx.x, table, items); err != nil {
+			return mapStorageErr(err)
+		}
+	}
+	for _, r := range rows {
+		if !fn(r.pk, r.value) {
+			break
+		}
+	}
+	return nil
+}
+
+// recheckWrap adapts a user scan callback for the S2PL index-scan path,
+// applying the stale-entry recheck.
+func (tx *Tx) recheckWrap(ti *tableInfo, si *secondaryIndex, lo, hi string, fn func(key string, value []byte) bool) func(key string, value []byte) bool {
+	return func(pk string, value []byte) bool {
+		ik, ok := si.fn(pk, value)
+		if !ok || ik < lo || (hi != "" && ik >= hi) {
+			return true
+		}
+		return fn(pk, value)
+	}
+}
+
+// SeqScan invokes fn for every visible row of table in unspecified order.
+// Under Serializable it takes a relation-granularity SIREAD lock; under
+// S2PL a shared relation lock.
+func (tx *Tx) SeqScan(table string, fn func(key string, value []byte) bool) error {
+	if err := tx.checkUsable(false); err != nil {
+		return err
+	}
+	ti, err := tx.db.table(table)
+	if err != nil {
+		return err
+	}
+	if tx.level == SerializableS2PL {
+		if err := tx.db.s2pl.Acquire(tx.xid, core.RelationTarget(table), s2pl.ModeS); err != nil {
+			return mapStorageErr(err)
+		}
+		snap := tx.db.mvcc.TakeSnapshot()
+		ti.heap.ForEach(snap, tx.xid, tx.db.mvcc, func(tu *storageTuple) bool {
+			return fn(tu.Key, tu.Value)
+		})
+		return nil
+	}
+	snap := tx.snapshot()
+	if tx.x != nil && !tx.x.Safe() {
+		tx.db.ssi.AcquireRelationLock(tx.x, table)
+	}
+	conflicts := ti.heap.ForEach(snap, tx.xid, tx.db.mvcc, func(tu *storageTuple) bool {
+		return fn(tu.Key, tu.Value)
+	})
+	if tx.x != nil {
+		if err := tx.db.ssi.CheckScanConflicts(tx.x, conflicts); err != nil {
+			return mapStorageErr(err)
+		}
+	}
+	return nil
+}

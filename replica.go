@@ -1,0 +1,159 @@
+package pgssi
+
+import (
+	"errors"
+	"sync"
+
+	"pgssi/internal/wal"
+)
+
+// Replica is a log-shipping standby (§7.2): it applies the master's WAL
+// records into its own MVCC storage and serves read-only transactions.
+// Serializable read-only transactions on the replica are only allowed on
+// safe snapshots, identified by markers in the log stream — exactly the
+// design the paper proposes for lifting PostgreSQL 9.1's restriction.
+// Weaker-isolation (snapshot) reads are allowed at any applied position,
+// matching "they can simply run at a weaker isolation level".
+type Replica struct {
+	db     *DB
+	cancel func()
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	applied  int // records applied
+	safeAt   int // applied position of the last safe-snapshot marker
+	appliedS uint64
+	stopped  bool
+}
+
+// ErrNotSafePoint is returned by BeginReadOnly(WaitSafe: false) when the
+// replica's applied position is not currently a safe snapshot.
+var ErrNotSafePoint = errors.New("pgssi: replica is not at a safe snapshot point")
+
+// ReplicaTxOptions configure a replica read-only transaction.
+type ReplicaTxOptions struct {
+	// Serializable requests true serializability; the transaction must
+	// run on a safe snapshot.
+	Serializable bool
+	// WaitSafe makes Begin block until the next safe-snapshot marker
+	// arrives (like a DEFERRABLE transaction); otherwise Begin fails
+	// with ErrNotSafePoint if the current position is not safe.
+	WaitSafe bool
+}
+
+// NewReplica creates a standby that replays log and mirrors the schema of
+// the given tables.
+func NewReplica(log *wal.Log, tables []string) (*Replica, error) {
+	db := Open(Config{})
+	for _, t := range tables {
+		if err := db.CreateTable(t); err != nil {
+			return nil, err
+		}
+	}
+	r := &Replica{db: db}
+	r.cond = sync.NewCond(&r.mu)
+	ch, cancel := log.Subscribe()
+	r.cancel = cancel
+	go r.applyLoop(ch)
+	return r, nil
+}
+
+// applyLoop applies records in order. Each transaction record is applied
+// as a local snapshot-isolation transaction, giving replica readers MVCC
+// snapshots for free, just as WAL replay on a PostgreSQL standby
+// maintains MVCC state.
+func (r *Replica) applyLoop(ch <-chan wal.Record) {
+	for rec := range ch {
+		r.mu.Lock()
+		if r.stopped {
+			r.mu.Unlock()
+			return
+		}
+		if !rec.SafeSnapshot {
+			r.applyRecord(rec)
+		}
+		r.applied++
+		r.appliedS = uint64(rec.Seq)
+		if rec.SafeSnapshot {
+			r.safeAt = r.applied
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	r.stopped = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// applyRecord applies one transaction's ops. Caller holds r.mu, which
+// also serializes appliers against snapshot-taking readers.
+func (r *Replica) applyRecord(rec wal.Record) {
+	tx, err := r.db.Begin(TxOptions{Isolation: RepeatableRead})
+	if err != nil {
+		return
+	}
+	for _, op := range rec.Ops {
+		switch {
+		case op.Delete:
+			_ = tx.Delete(op.Table, op.Key)
+		default:
+			if err := tx.Update(op.Table, op.Key, op.Value); err != nil {
+				_ = tx.Insert(op.Table, op.Key, op.Value)
+			}
+		}
+	}
+	_ = tx.Commit()
+}
+
+// BeginReadOnly starts a read-only transaction on the replica. With
+// Serializable it runs only on a safe snapshot: if the replica is not at
+// a marker, it waits for the next one (WaitSafe) or fails
+// (ErrNotSafePoint). The returned transaction is an ordinary snapshot
+// transaction — a safe snapshot needs no SSI tracking, which is the whole
+// point (§4.2).
+func (r *Replica) BeginReadOnly(opts ReplicaTxOptions) (*Tx, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if opts.Serializable {
+		if r.applied != r.safeAt || r.applied == 0 {
+			if !opts.WaitSafe {
+				return nil, ErrNotSafePoint
+			}
+			for (r.applied != r.safeAt || r.applied == 0) && !r.stopped {
+				r.cond.Wait()
+			}
+			if r.stopped {
+				return nil, errors.New("pgssi: replica stopped")
+			}
+		}
+	}
+	// r.mu is held: no record can be applied between the safety check
+	// and the snapshot, so the snapshot lands exactly on the marker.
+	return r.db.Begin(TxOptions{Isolation: RepeatableRead, ReadOnly: true})
+}
+
+// AppliedRecords returns how many WAL records have been applied.
+func (r *Replica) AppliedRecords() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// WaitApplied blocks until at least n records have been applied.
+func (r *Replica) WaitApplied(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.applied < n && !r.stopped {
+		r.cond.Wait()
+	}
+}
+
+// Close detaches the replica from the log.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	r.stopped = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.cancel()
+}

@@ -1,0 +1,327 @@
+package pgssi
+
+import (
+	"fmt"
+
+	"pgssi/internal/core"
+	"pgssi/internal/mvcc"
+	"pgssi/internal/wal"
+)
+
+// Tx is a transaction. A Tx must be used from one goroutine at a time
+// (concurrency comes from running many transactions, not from sharing
+// one). Every Tx must be finished with Commit, Rollback, or the
+// two-phase-commit calls; transactions that fail any operation with a
+// serialization failure remain rollback-only and their Commit fails.
+type Tx struct {
+	db       *DB
+	xid      mvcc.TxID
+	level    IsolationLevel
+	readOnly bool
+	// snap is the transaction snapshot; nil for ReadCommitted and
+	// SerializableS2PL, which use per-statement snapshots.
+	snap *mvcc.Snapshot
+	// x is the SSI bookkeeping, non-nil only for Serializable.
+	x *core.Xact
+
+	// writes tracks this transaction's write set, newest version last,
+	// for own-write detection, savepoint rollback, and WAL emission.
+	writes map[writeKey][]writeVersion
+
+	// savepoints is the stack of active savepoints; subSeq issues
+	// subtransaction IDs (§7.3).
+	savepoints []savepoint
+	subSeq     int32
+
+	done     bool
+	prepared bool
+	gid      string
+	prepSt   core.PreparedState
+}
+
+type writeKey struct{ table, key string }
+
+type writeVersion struct {
+	subID   int32
+	value   []byte
+	deleted bool
+}
+
+type savepoint struct {
+	name  string
+	subID int32
+}
+
+// Begin starts a transaction. With Deferrable+ReadOnly+Serializable it
+// blocks until a safe snapshot is available (§4.3) and returns a
+// transaction that runs entirely without SSI overhead and cannot abort.
+func (db *DB) Begin(opts TxOptions) (*Tx, error) {
+	if opts.Deferrable {
+		if !opts.ReadOnly || opts.Isolation != Serializable {
+			return nil, fmt.Errorf("pgssi: DEFERRABLE requires a SERIALIZABLE READ ONLY transaction")
+		}
+		return db.beginDeferrable()
+	}
+	tx := &Tx{
+		db:       db,
+		xid:      db.mvcc.Begin(),
+		level:    opts.Isolation,
+		readOnly: opts.ReadOnly,
+		writes:   make(map[writeKey][]writeVersion),
+	}
+	switch opts.Isolation {
+	case Serializable:
+		tx.x, tx.snap = db.ssi.Begin(tx.xid, db.mvcc.TakeSnapshot, opts.ReadOnly, false)
+	case RepeatableRead:
+		tx.snap = db.mvcc.TakeSnapshot()
+	case ReadCommitted, SerializableS2PL:
+		// Per-statement snapshots.
+	default:
+		db.mvcc.Abort(tx.xid)
+		return nil, fmt.Errorf("pgssi: unknown isolation level %v", opts.Isolation)
+	}
+	return tx, nil
+}
+
+// beginDeferrable implements BEGIN TRANSACTION READ ONLY, DEFERRABLE:
+// take a snapshot, wait for all concurrent read/write transactions to
+// finish, and retry with a fresh snapshot if any of them rendered it
+// unsafe (§4.3).
+func (db *DB) beginDeferrable() (*Tx, error) {
+	for {
+		xid := db.mvcc.Begin()
+		x, snap := db.ssi.Begin(xid, db.mvcc.TakeSnapshot, true, true)
+		if db.ssi.SafeVerdict(x) {
+			return &Tx{
+				db:       db,
+				xid:      xid,
+				level:    Serializable,
+				readOnly: true,
+				snap:     snap,
+				x:        x,
+				writes:   make(map[writeKey][]writeVersion),
+			}, nil
+		}
+		db.ssi.Abort(x)
+		db.mvcc.Abort(xid)
+	}
+}
+
+// ID returns the transaction's xid (diagnostics only).
+func (tx *Tx) ID() uint64 { return uint64(tx.xid) }
+
+// Isolation returns the transaction's isolation level.
+func (tx *Tx) Isolation() IsolationLevel { return tx.level }
+
+// OnSafeSnapshot reports whether a Serializable read-only transaction is
+// currently running on a safe snapshot (no SSI overhead, cannot abort).
+func (tx *Tx) OnSafeSnapshot() bool {
+	return tx.x != nil && tx.x.Safe()
+}
+
+// snapshot returns the snapshot for the next statement.
+func (tx *Tx) snapshot() *mvcc.Snapshot {
+	if tx.snap != nil {
+		return tx.snap
+	}
+	return tx.db.mvcc.TakeSnapshot()
+}
+
+// currentSubID returns the subtransaction ID writes are tagged with.
+func (tx *Tx) currentSubID() int32 {
+	if n := len(tx.savepoints); n > 0 {
+		return tx.savepoints[n-1].subID
+	}
+	return 0
+}
+
+// inSubxact reports whether an unreleased savepoint scope is open, which
+// disables the drop-SIREAD-on-own-write optimization (§7.3).
+func (tx *Tx) inSubxact() bool { return len(tx.savepoints) > 0 }
+
+// owns reports whether the transaction holds a live own-write of key.
+func (tx *Tx) owns(table, key string) bool {
+	vs := tx.writes[writeKey{table, key}]
+	if len(vs) == 0 {
+		return false
+	}
+	return !vs[len(vs)-1].deleted
+}
+
+// recordWrite appends a write-set entry.
+func (tx *Tx) recordWrite(table, key string, value []byte, deleted bool) {
+	wk := writeKey{table, key}
+	tx.writes[wk] = append(tx.writes[wk], writeVersion{
+		subID:   tx.currentSubID(),
+		value:   value,
+		deleted: deleted,
+	})
+}
+
+// checkUsable validates the transaction state for a new statement.
+func (tx *Tx) checkUsable(write bool) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.prepared {
+		return ErrPrepared
+	}
+	if write && tx.readOnly {
+		return ErrReadOnlyTx
+	}
+	return nil
+}
+
+// Commit finishes the transaction. Under Serializable the pre-commit
+// serialization check may fail, in which case the transaction is rolled
+// back and a serialization failure is returned: retry the transaction.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.prepared {
+		return ErrPrepared
+	}
+	switch tx.level {
+	case Serializable:
+		err := tx.db.ssi.Commit(tx.x, func() mvcc.SeqNo {
+			return tx.db.mvcc.Commit(tx.xid)
+		})
+		if err != nil {
+			tx.rollbackLocked()
+			return serializationFailure("pre-commit dangerous structure check")
+		}
+	case RepeatableRead, ReadCommitted:
+		tx.db.mvcc.Commit(tx.xid)
+	case SerializableS2PL:
+		tx.db.mvcc.Commit(tx.xid)
+		tx.db.s2pl.ReleaseAll(tx.xid)
+	}
+	tx.done = true
+	tx.db.emitWAL(tx)
+	return nil
+}
+
+// Rollback aborts the transaction. Rolling back a finished transaction
+// returns ErrTxDone; rolling back a prepared transaction is done with
+// RollbackPrepared.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.prepared {
+		return ErrPrepared
+	}
+	tx.rollbackLocked()
+	return nil
+}
+
+func (tx *Tx) rollbackLocked() {
+	tx.db.mvcc.Abort(tx.xid)
+	if tx.x != nil {
+		tx.db.ssi.Abort(tx.x)
+	}
+	if tx.level == SerializableS2PL {
+		tx.db.s2pl.ReleaseAll(tx.xid)
+	}
+	tx.done = true
+}
+
+// emitWAL appends the transaction's logical changes to the attached WAL,
+// followed by a safe-snapshot marker when no transaction remains in
+// flight (§7.2).
+func (db *DB) emitWAL(tx *Tx) {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.walLog == nil {
+		return
+	}
+	seq := db.mvcc.CommitSeq(tx.xid)
+	if len(tx.writes) > 0 {
+		rec := wal.Record{Seq: seq}
+		for wk, vs := range tx.writes {
+			last := vs[len(vs)-1]
+			rec.Ops = append(rec.Ops, wal.Op{
+				Table:  wk.table,
+				Key:    wk.key,
+				Value:  last.value,
+				Delete: last.deleted,
+			})
+		}
+		db.walLog.Append(rec)
+	}
+	if db.mvcc.ActiveCount() == 0 {
+		db.walLog.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+	}
+}
+
+// Savepoint establishes a savepoint with the given name, starting a new
+// subtransaction scope (§7.3).
+func (tx *Tx) Savepoint(name string) error {
+	if err := tx.checkUsable(false); err != nil {
+		return err
+	}
+	tx.subSeq++
+	tx.savepoints = append(tx.savepoints, savepoint{name: name, subID: tx.subSeq})
+	return nil
+}
+
+// ReleaseSavepoint releases name and any savepoints nested inside it,
+// merging their effects into the enclosing scope.
+func (tx *Tx) ReleaseSavepoint(name string) error {
+	if err := tx.checkUsable(false); err != nil {
+		return err
+	}
+	for i := len(tx.savepoints) - 1; i >= 0; i-- {
+		if tx.savepoints[i].name == name {
+			tx.savepoints = tx.savepoints[:i]
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrNoSavepoint, name)
+}
+
+// RollbackToSavepoint discards all changes made since the savepoint was
+// established, releasing the write locks those changes held. SIREAD
+// locks acquired in the subtransaction are retained, because data read
+// inside it may have been externalized (§7.3). The savepoint itself
+// remains established, as in SQL.
+func (tx *Tx) RollbackToSavepoint(name string) error {
+	if err := tx.checkUsable(false); err != nil {
+		return err
+	}
+	idx := -1
+	for i := len(tx.savepoints) - 1; i >= 0; i-- {
+		if tx.savepoints[i].name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %q", ErrNoSavepoint, name)
+	}
+	sp := tx.savepoints[idx]
+	for wk, vs := range tx.writes {
+		keep := vs[:0]
+		for _, v := range vs {
+			if v.subID < sp.subID {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == len(vs) {
+			continue
+		}
+		ti, err := tx.db.table(wk.table)
+		if err != nil {
+			continue
+		}
+		ti.heap.UndoSubxact(wk.key, tx.xid, sp.subID)
+		if len(keep) == 0 {
+			delete(tx.writes, wk)
+		} else {
+			tx.writes[wk] = keep
+		}
+	}
+	tx.savepoints = tx.savepoints[:idx+1]
+	return nil
+}
