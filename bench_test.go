@@ -257,3 +257,63 @@ func BenchmarkLockManager(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLockManagerParallel measures lock-table contention: parallel
+// workers each run Serializable transactions of 8 point reads over a
+// shared table, with the SIREAD lock table at 1 partition (the old
+// single-mutex scheme) versus the partitioned default. The §8 contention
+// analysis predicts the single partition serializes every read of every
+// worker on one mutex.
+func BenchmarkLockManagerParallel(b *testing.B) {
+	const readsPerTxn = 8
+	for _, parts := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			db := pgssi.Open(pgssi.Config{Partitions: parts})
+			si := workload.SIBench{Rows: 1000}
+			if err := si.Setup(db); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					tx, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for r := 0; r < readsPerTxn; r++ {
+						i++
+						if _, err := tx.Get("sibench", fmt.Sprintf("k%06d", i%1000)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPartitionSweep is the SIBENCH sweep of the lock-table
+// partition count: the full update/query mix at a contended size with
+// ≥4 workers, 1 partition versus the partitioned default.
+func BenchmarkPartitionSweep(b *testing.B) {
+	for _, parts := range []int{1, 16} {
+		for _, workers := range []int{4, 8} {
+			b.Run(fmt.Sprintf("partitions=%d/workers=%d", parts, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					si := workload.SIBench{Rows: 1000}
+					res, err := si.Run(pgssi.Config{Partitions: parts}, workload.RunOptions{
+						Level: pgssi.Serializable, Workers: workers, Duration: benchDuration(), Seed: 12,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportResult(b, res)
+				}
+			})
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"pgssi"
 	"pgssi/internal/workload"
 )
 
@@ -18,6 +19,7 @@ func main() {
 	sizes := flag.String("sizes", "10,100,1000,10000", "comma-separated table sizes")
 	workers := flag.Int("workers", 4, "closed-loop worker goroutines")
 	dur := flag.Duration("duration", 2*time.Second, "measurement duration per point")
+	partitions := flag.Int("partitions", 0, "SIREAD lock-table partitions (0 = engine default, 1 = single mutex)")
 	flag.Parse()
 
 	var rows []int
@@ -29,7 +31,7 @@ func main() {
 		rows = append(rows, n)
 	}
 
-	series, err := workload.Figure4(rows, workload.RunOptions{
+	series, err := workload.Figure4Cfg(rows, pgssi.Config{Partitions: *partitions}, workload.RunOptions{
 		Workers: *workers, Duration: *dur, Seed: 1,
 	})
 	if err != nil {

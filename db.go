@@ -103,6 +103,11 @@ type Config struct {
 	// granularity-promotion thresholds (§5.2.1).
 	PromoteTupleToPage int
 	PromotePageToRel   int
+	// Partitions is the number of hash partitions for the SIREAD lock
+	// table (PostgreSQL's NUM_PREDICATELOCK_PARTITIONS analogue).
+	// Rounded up to a power of two; defaults to 16. Set to 1 to
+	// reproduce a single-mutex lock table for comparison.
+	Partitions int
 
 	// DisableCommitOrderingOpt turns off the commit-ordering
 	// optimization of §3.3.1 (ablation: original SSI abort rule).
@@ -122,6 +127,7 @@ func (c Config) ssiConfig() core.Config {
 		MaxCommittedXacts:        c.MaxCommittedXacts,
 		PromoteTupleToPage:       c.PromoteTupleToPage,
 		PromotePageToRel:         c.PromotePageToRel,
+		Partitions:               c.Partitions,
 		DisableCommitOrderingOpt: c.DisableCommitOrderingOpt,
 		DisableReadOnlyOpt:       c.DisableReadOnlyOpt,
 	}

@@ -1,0 +1,3 @@
+module pgssi
+
+go 1.22

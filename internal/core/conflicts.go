@@ -16,15 +16,40 @@ import (
 // §5.2). If ownWrite is true, x already holds the tuple write lock and no
 // SIREAD lock is needed. Returns ErrSerializationFailure if x was doomed
 // or becomes the victim of a dangerous structure discovered here.
+//
+// Known limitation (predating the partitioned lock table): the engine
+// computes conflictOut during the MVCC read and inserts the SIREAD lock
+// here, in separate steps. A writer whose CheckWrite runs between the
+// two sees neither the lock nor a version its write would invalidate.
+// PostgreSQL closes that window by holding the buffer page lock across
+// the read and the predicate-lock insertion; this engine has no
+// per-page content lock to play that role at any lock-table sharding.
 func (m *Manager) CheckRead(x *Xact, rel string, page int64, key string, conflictOut []mvcc.TxID, ownWrite bool) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	if x.safe.Load() {
 		// Safe snapshot: plain snapshot isolation, no tracking (§4.2).
 		return nil
+	}
+	if len(conflictOut) == 0 {
+		// Hot path: a read with no MVCC conflicts only touches the
+		// partitioned lock table, never the conflict graph, so the
+		// global SSI mutex is not needed. A doom set concurrently is
+		// picked up at the next conflict-bearing operation or at the
+		// pre-commit check, which runs under the mutex.
+		if !ownWrite && key != "" {
+			m.acquire(x, TupleTarget(rel, page, key))
+		}
+		if x.doomed.Load() {
+			return ErrSerializationFailure
+		}
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if x.doomed.Load() {
+		return ErrSerializationFailure
 	}
 	for _, w := range conflictOut {
 		if err := m.flagConflictOutLocked(x, w); err != nil {
@@ -32,9 +57,9 @@ func (m *Manager) CheckRead(x *Xact, rel string, page int64, key string, conflic
 		}
 	}
 	if !ownWrite && key != "" {
-		m.acquireLocked(x, TupleTarget(rel, page, key))
+		m.acquire(x, TupleTarget(rel, page, key))
 	}
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	return nil
@@ -43,20 +68,23 @@ func (m *Manager) CheckRead(x *Xact, rel string, page int64, key string, conflic
 // CheckScanConflicts processes the MVCC conflict-out set of a scan that
 // already acquired its page or relation locks separately.
 func (m *Manager) CheckScanConflicts(x *Xact, conflictOut []mvcc.TxID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
-	if x.safe.Load() {
+	if x.safe.Load() || len(conflictOut) == 0 {
 		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if x.doomed.Load() {
+		return ErrSerializationFailure
 	}
 	for _, w := range conflictOut {
 		if err := m.flagConflictOutLocked(x, w); err != nil {
 			return err
 		}
 	}
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	return nil
@@ -255,7 +283,7 @@ func (m *Manager) readOnlySafeLocked(t1 *Xact, t3Commit mvcc.SeqNo) bool {
 // structure is confirmed, the pivot is doomed (safe-retry rule 2); caller
 // receives the error if it is the victim.
 func (m *Manager) checkPivotLocked(pivot *Xact, s3 mvcc.SeqNo, caller *Xact) error {
-	if pivot.committed || pivot.aborted || pivot.doomed {
+	if pivot.committed || pivot.aborted || pivot.doomed.Load() {
 		// A committed pivot with a dangerous structure is handled at
 		// its own pre-commit check or at detection time; nothing to
 		// do here.
@@ -302,7 +330,7 @@ func (m *Manager) checkPivotLocked(pivot *Xact, s3 mvcc.SeqNo, caller *Xact) err
 // commit, and the pivot and T1 candidates have not committed, T3 will be
 // the first to commit: treat the structure as dangerous now.
 func (m *Manager) checkPivotPreparedT3Locked(pivot *Xact, caller *Xact) error {
-	if pivot.committed || pivot.aborted || pivot.doomed {
+	if pivot.committed || pivot.aborted || pivot.doomed.Load() {
 		return nil
 	}
 	danger := pivot.summaryConflictIn
@@ -345,8 +373,8 @@ func (m *Manager) doomLocked(victim, caller *Xact) error {
 	if victim.committed {
 		return nil
 	}
-	if !victim.doomed {
-		victim.doomed = true
+	if !victim.doomed.Load() {
+		victim.doomed.Store(true)
 		m.stats.DangerousAborts++
 		if victim == caller {
 			m.stats.SelfAborts++
@@ -371,23 +399,28 @@ func (m *Manager) doomLocked(victim, caller *Xact) error {
 func (m *Manager) CheckWrite(x *Xact, rel string, page int64, key string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	x.wrote = true
-	targets := []Target{RelationTarget(rel)}
+	// Check finest to coarsest (tuple, page, relation). Combined with
+	// promotion inserting the coarser lock before removing the finer
+	// ones, this guarantees a reader concurrently promoting its locks
+	// is seen at one granularity or another (see partition.go).
+	targets := make([]Target, 0, 3)
 	if page >= 0 {
-		targets = append(targets, PageTarget(rel, page))
 		if key != "" {
 			targets = append(targets, TupleTarget(rel, page, key))
 		}
+		targets = append(targets, PageTarget(rel, page))
 	}
+	targets = append(targets, RelationTarget(rel))
 	for _, t := range targets {
 		if err := m.checkTargetWriteLocked(x, t); err != nil {
 			return err
 		}
 	}
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	return nil
@@ -399,35 +432,39 @@ func (m *Manager) CheckWrite(x *Xact, rel string, page int64, key string) error 
 func (m *Manager) CheckIndexInsert(x *Xact, idx string, page int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	x.wrote = true
-	if err := m.checkTargetWriteLocked(x, RelationTarget(idx)); err != nil {
-		return err
-	}
+	// Finest to coarsest, as in CheckWrite.
 	if err := m.checkTargetWriteLocked(x, PageTarget(idx, page)); err != nil {
 		return err
 	}
-	if x.doomed {
+	if err := m.checkTargetWriteLocked(x, RelationTarget(idx)); err != nil {
+		return err
+	}
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	return nil
 }
 
 // checkTargetWriteLocked flags reader → x for every SIREAD holder of t.
+// Caller holds m.mu, which pins every holder's lifecycle (no holder can
+// commit-clean, abort, or be summarized between the snapshot below and
+// the flagging); the partition mutex is held only while snapshotting the
+// holder set, since flagging can itself mutate the lock table via dooms.
 func (m *Manager) checkTargetWriteLocked(x *Xact, t Target) error {
-	holders, ok := m.locks[t]
-	if !ok {
-		return nil
-	}
-	// Collect first: flagging can mutate the lock table via dooms.
+	p := m.partition(t)
+	p.mu.Lock()
+	holders := p.locks[t]
 	readers := make([]*Xact, 0, len(holders))
 	for r := range holders {
 		if r != x {
 			readers = append(readers, r)
 		}
 	}
+	p.mu.Unlock()
 	for _, r := range readers {
 		if r == m.oldCommitted {
 			// A summarized committed transaction read this object
@@ -476,8 +513,10 @@ type ReadItem struct {
 }
 
 // CheckReadBatch processes all rows of a scan in one critical section —
-// semantically identical to calling CheckRead per row, but taking the
-// SSI mutex once per scan instead of once per tuple.
+// semantically identical to calling CheckRead per row. A scan with no
+// MVCC conflicts (the common case) never takes the SSI mutex: it holds
+// the transaction's own lockMu across the batch and touches only the
+// lock-table partitions.
 func (m *Manager) CheckReadBatch(x *Xact, rel string, items []ReadItem) error {
 	if len(items) == 0 {
 		return nil
@@ -485,9 +524,33 @@ func (m *Manager) CheckReadBatch(x *Xact, rel string, items []ReadItem) error {
 	if x.safe.Load() {
 		return nil
 	}
+	if x.doomed.Load() {
+		return ErrSerializationFailure
+	}
+	hasConflicts := false
+	for i := range items {
+		if len(items[i].ConflictOut) > 0 {
+			hasConflicts = true
+			break
+		}
+	}
+	if !hasConflicts {
+		x.lockMu.Lock()
+		for i := range items {
+			it := &items[i]
+			if !it.OwnWrite && it.Key != "" {
+				m.acquireXLocked(x, TupleTarget(rel, it.Page, it.Key))
+			}
+		}
+		x.lockMu.Unlock()
+		if x.doomed.Load() {
+			return ErrSerializationFailure
+		}
+		return nil
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	for i := range items {
@@ -498,10 +561,10 @@ func (m *Manager) CheckReadBatch(x *Xact, rel string, items []ReadItem) error {
 			}
 		}
 		if !it.OwnWrite && it.Key != "" {
-			m.acquireLocked(x, TupleTarget(rel, it.Page, it.Key))
+			m.acquire(x, TupleTarget(rel, it.Page, it.Key))
 		}
 	}
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	return nil

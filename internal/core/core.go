@@ -20,8 +20,17 @@
 //     out-conflict commit table (§6);
 //   - two-phase commit support with conservative recovery (§7.1).
 //
-// All state is guarded by a single mutex, the analogue of PostgreSQL's
-// SerializableXactHashLock.
+// Concurrency control is split in two, mirroring PostgreSQL's
+// SerializableXactHashLock / PredicateLockHashPartitionLock division
+// (§8 identifies the single lock as the contention point at high core
+// counts). Transaction lifecycle and the rw-antidependency graph are
+// guarded by the single Manager.mu; the SIREAD lock table is sharded
+// into Config.Partitions hash partitions, each with its own mutex, so
+// the per-read lock acquisition path never takes the global mutex. The
+// full lock-ordering rule (Manager.mu → Xact.lockMu → partition mutex,
+// outer to inner, never interleaved) and the promotion invariants that
+// keep multigranularity locking correct across partitions are
+// documented in partition.go.
 package core
 
 import (
@@ -132,6 +141,11 @@ type Config struct {
 	// (ablation A2, the "SSI no r/o opt" series in Figures 4 and 5):
 	// no snapshot-ordering filter, no safe snapshots.
 	DisableReadOnlyOpt bool
+	// Partitions is the number of hash partitions the SIREAD lock
+	// table is divided into, the analogue of PostgreSQL's
+	// NUM_PREDICATELOCK_PARTITIONS. Rounded up to a power of two;
+	// defaults to 16. Set to 1 to reproduce the single-mutex table.
+	Partitions int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +161,15 @@ func (c Config) withDefaults() Config {
 	if c.PromotePageToRel <= 0 {
 		c.PromotePageToRel = 32
 	}
+	if c.Partitions <= 0 {
+		c.Partitions = 16
+	}
+	// Round up to a power of two so partition selection is a mask.
+	n := 1
+	for n < c.Partitions {
+		n <<= 1
+	}
+	c.Partitions = n
 	return c
 }
 
@@ -170,7 +193,8 @@ type Stats struct {
 
 // Xact is the SSI bookkeeping for one serializable transaction —
 // PostgreSQL's SERIALIZABLEXACT. Fields are protected by the Manager's
-// mutex.
+// mutex, except the lock bookkeeping guarded by lockMu and the atomic
+// flags noted below.
 type Xact struct {
 	// XID is the MVCC transaction ID.
 	XID mvcc.TxID
@@ -189,7 +213,10 @@ type Xact struct {
 	aborted    bool
 	// doomed marks the transaction as chosen for abort; its next
 	// operation or its commit will fail with ErrSerializationFailure.
-	doomed bool
+	// It is set only under the Manager's mutex but read atomically by
+	// the mutex-free read path; the pre-commit check, which runs under
+	// the mutex, is the authoritative observation.
+	doomed atomic.Bool
 	// safe marks a read-only transaction running on a safe snapshot:
 	// it takes no SIREAD locks and cannot abort (§4.2). It is atomic
 	// so the engine's hot paths can check it without the SSI mutex.
@@ -214,12 +241,21 @@ type Xact struct {
 	// conflict has committed.
 	earliestOutConflictCommit mvcc.SeqNo
 
+	// lockMu guards the transaction's own lock bookkeeping below. It
+	// nests inside Manager.mu and outside the partition mutexes (see
+	// partition.go for the full ordering rule).
+	lockMu sync.Mutex
 	// locks is this transaction's SIREAD lock set.
 	locks map[Target]struct{}
 	// tuplesOnPage counts tuple locks per (rel, page) for promotion.
 	tuplesOnPage map[Target]int
 	// pagesOnRel counts page locks per relation for promotion.
 	pagesOnRel map[string]int
+	// lockingDone bars further lock acquisition: set when the
+	// transaction finishes, is summarized, or moves onto a safe
+	// snapshot. Structural propagation (PageSplit) bypasses it, since
+	// committed transactions' existing locks must still follow splits.
+	lockingDone bool
 
 	// possibleUnsafe, on a read-only transaction, is the set of
 	// concurrent read/write transactions whose fate determines whether
@@ -243,7 +279,7 @@ func (x *Xact) ReadOnly() bool {
 
 // Doomed reports whether the transaction has been chosen as an abort
 // victim. Exposed for tests.
-func (x *Xact) Doomed() bool { return x.doomed }
+func (x *Xact) Doomed() bool { return x.doomed.Load() }
 
 // Safe reports whether the transaction is running on a safe snapshot.
 func (x *Xact) Safe() bool { return x.safe.Load() }
@@ -251,9 +287,19 @@ func (x *Xact) Safe() bool { return x.safe.Load() }
 // Manager is the SSI state machine shared by all serializable
 // transactions of one database.
 type Manager struct {
+	// mu guards transaction lifecycle and rw-antidependency state: the
+	// xact maps, the conflict graph, the committed FIFO, the summary
+	// table, and safe-snapshot bookkeeping. The SIREAD lock table is
+	// NOT under mu; it lives in the hash partitions below.
 	mu   sync.Mutex
 	cfg  Config
 	mvcc *mvcc.Manager
+
+	// parts is the partitioned SIREAD lock table (see partition.go);
+	// partMask selects a shard from a target hash (len(parts) is a
+	// power of two).
+	parts    []lockPartition
+	partMask uint64
 
 	// xacts maps xid → tracked transaction (active, prepared, or
 	// committed-and-still-tracked).
@@ -269,32 +315,39 @@ type Manager struct {
 	// committed is the FIFO of committed transactions still tracked in
 	// full, oldest first.
 	committed []*Xact
-	// locks is the SIREAD lock table: target → holders.
-	locks map[Target]map[*Xact]struct{}
 	// oldCommitted is the dummy transaction that absorbs summarized
-	// transactions' SIREAD locks (§6.2). Its lock entries record the
-	// latest commit seq of any absorbed holder, for cleanup.
-	oldCommitted     *Xact
-	oldCommittedSeqs map[Target]mvcc.SeqNo
+	// transactions' SIREAD locks (§6.2). The per-target latest commit
+	// seq of absorbed holders lives in each partition's dummySeqs.
+	oldCommitted *Xact
 	// summary maps a summarized committed transaction's xid to the
 	// commit sequence number of the earliest transaction it had a
 	// conflict out to (zero if none) — the "single 64-bit integer per
 	// transaction" table of §6.2.
 	summary map[mvcc.TxID]mvcc.SeqNo
 
-	stats Stats
+	// stats holds the counters maintained under mu; the lock-path
+	// counters below are atomics because the lock path does not take
+	// mu. Stats() assembles the full picture.
+	stats              Stats
+	locksAcquired      atomic.Int64
+	locksCurrent       atomic.Int64
+	locksPeak          atomic.Int64
+	tuplePromotions    atomic.Int64
+	pagePromotions     atomic.Int64
+	capacityPromotions atomic.Int64
 }
 
 // NewManager returns an SSI manager layered over the given MVCC manager.
 func NewManager(m *mvcc.Manager, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
 	mgr := &Manager{
-		cfg:              cfg.withDefaults(),
-		mvcc:             m,
-		xacts:            make(map[mvcc.TxID]*Xact),
-		active:           make(map[*Xact]struct{}),
-		locks:            make(map[Target]map[*Xact]struct{}),
-		oldCommittedSeqs: make(map[Target]mvcc.SeqNo),
-		summary:          make(map[mvcc.TxID]mvcc.SeqNo),
+		cfg:      cfg,
+		mvcc:     m,
+		parts:    newLockPartitions(cfg.Partitions),
+		partMask: uint64(cfg.Partitions - 1),
+		xacts:    make(map[mvcc.TxID]*Xact),
+		active:   make(map[*Xact]struct{}),
+		summary:  make(map[mvcc.TxID]mvcc.SeqNo),
 	}
 	mgr.oldCommitted = &Xact{committed: true}
 	return mgr
@@ -303,8 +356,20 @@ func NewManager(m *mvcc.Manager, cfg Config) *Manager {
 // Stats returns a snapshot of the cumulative counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	st := m.stats
+	m.mu.Unlock()
+	st.LocksAcquired = m.locksAcquired.Load()
+	st.LocksCurrent = m.locksCurrent.Load()
+	st.LocksPeak = m.locksPeak.Load()
+	if st.LocksPeak < st.LocksCurrent {
+		// The peak CAS trails the gauge increment; keep the
+		// gauge ≤ peak invariant in the snapshot.
+		st.LocksPeak = st.LocksCurrent
+	}
+	st.TuplePromotions = m.tuplePromotions.Load()
+	st.PagePromotions = m.pagePromotions.Load()
+	st.CapacityPromotions = m.capacityPromotions.Load()
+	return st
 }
 
 // TrackedXacts returns the number of transactions currently tracked
@@ -316,11 +381,20 @@ func (m *Manager) TrackedXacts() int {
 }
 
 // LockCount returns the number of SIREAD lock (target, holder) pairs
-// currently in the table, including the dummy transaction's.
+// currently in the table, including the dummy transaction's. It counts
+// the table itself rather than reporting the LocksCurrent gauge, so
+// counter drift cannot go unnoticed (tests assert the two agree).
 func (m *Manager) LockCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return int(m.stats.LocksCurrent)
+	n := 0
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.mu.Lock()
+		for _, holders := range p.locks {
+			n += len(holders)
+		}
+		p.mu.Unlock()
+	}
+	return n
 }
 
 // SummaryTableSize returns the number of summarized-transaction entries.

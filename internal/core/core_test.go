@@ -593,8 +593,16 @@ func TestStatsAccounting(t *testing.T) {
 	if st.LocksAcquired == 0 || st.LocksPeak == 0 {
 		t.Fatalf("lock stats not counted: %+v", st)
 	}
+	// LockCount counts the table itself; the LocksCurrent gauge must
+	// agree with it (guards against counter drift).
+	if got, want := h.mgr.LockCount(), int(st.LocksCurrent); got != want {
+		t.Fatalf("lock table count %d disagrees with LocksCurrent gauge %d", got, want)
+	}
 	h.abort(x)
 	if h.mgr.LockCount() != 0 {
 		t.Fatal("abort must release locks")
+	}
+	if cur := h.mgr.Stats().LocksCurrent; cur != 0 {
+		t.Fatalf("LocksCurrent gauge = %d after abort, want 0", cur)
 	}
 }

@@ -37,7 +37,7 @@ func (m *Manager) Commit(x *Xact, commitFn func() mvcc.SeqNo) error {
 // T3 (committing first, so the pivot must be doomed — §5.4 rule 1/2) or
 // the pivot itself (self-abort, rule 2/3 fallback).
 func (m *Manager) preCommitCheckLocked(x *Xact) error {
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	if x.safe.Load() {
@@ -48,7 +48,7 @@ func (m *Manager) preCommitCheckLocked(x *Xact) error {
 	// committed, x would be the first of the structure to commit;
 	// abort P now unless a T1 committed before x clears it.
 	for pivot := range x.inConflicts {
-		if pivot.committed || pivot.aborted || pivot.doomed {
+		if pivot.committed || pivot.aborted || pivot.doomed.Load() {
 			continue
 		}
 		danger := pivot.summaryConflictIn
@@ -131,7 +131,7 @@ func (m *Manager) preCommitCheckLocked(x *Xact) error {
 		}
 	}
 
-	if x.doomed {
+	if x.doomed.Load() {
 		return ErrSerializationFailure
 	}
 	return nil
@@ -145,6 +145,11 @@ func (m *Manager) finishCommitLocked(x *Xact, seq mvcc.SeqNo) {
 	x.prepared = false
 	x.CommitSeq = seq
 	delete(m.active, x)
+	// A committed transaction keeps its SIREAD locks until cleanup but
+	// must not grow its lock set.
+	x.lockMu.Lock()
+	x.lockingDone = true
+	x.lockMu.Unlock()
 	if x.wrote {
 		m.roSweepValid = false
 	}
@@ -256,13 +261,7 @@ func (m *Manager) clearOldLocked() {
 	}
 
 	// Dummy (summarized) locks expire on the same condition.
-	if len(m.oldCommittedSeqs) > 0 {
-		for t, seq := range m.oldCommittedSeqs {
-			if seq <= minSeq {
-				m.removeDummyLockLocked(t)
-			}
-		}
-	}
+	m.expireDummyLocksLocked(minSeq)
 
 	if len(m.active) > 0 && allRO && !m.cfg.DisableReadOnlyOpt && !m.roSweepValid {
 		// §6.1: with only read-only transactions active, no future
@@ -313,11 +312,18 @@ func (m *Manager) summarizeOldestLocked() {
 	// c had a conflict out to (zero if none).
 	m.summary[c.XID] = c.earliestOutConflictCommit
 
-	// Reassign SIREAD locks to the dummy transaction.
+	// Reassign SIREAD locks to the dummy transaction, inserting the
+	// dummy's lock before removing c's so concurrent write checks never
+	// see the target momentarily unheld.
+	c.lockMu.Lock()
+	c.lockingDone = true
 	for t := range c.locks {
-		m.removeLockLocked(c, t)
 		m.insertDummyLockLocked(t, c.CommitSeq)
+		m.removeLockXLocked(c, t)
 	}
+	c.tuplesOnPage = nil
+	c.pagesOnRel = nil
+	c.lockMu.Unlock()
 
 	// Readers of c keep their recorded earliestOutConflictCommit;
 	// writers conflicting with c gain the summary-conflict-in flag.

@@ -7,57 +7,70 @@ import (
 // This file implements the SSI lock manager of §5.2.1: SIREAD-only locks
 // at relation / page / tuple granularity, with promotion to coarser
 // granularities both for per-transaction thresholds and for global
-// capacity, and the write-side conflict check that walks granularities
-// coarsest to finest.
+// capacity. The lock table itself is sharded into hash partitions (see
+// partition.go for the layout and the lock-ordering rules); the
+// acquisition and release paths below run without the global SSI mutex,
+// taking only the owning transaction's lockMu and one partition mutex
+// at a time.
 
 // AcquireTupleLock records a SIREAD lock for x on the tuple identified by
 // key, whose read version lives on (rel, page).
 func (m *Manager) AcquireTupleLock(x *Xact, rel string, page int64, key string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.acquireLocked(x, TupleTarget(rel, page, key))
+	m.acquire(x, TupleTarget(rel, page, key))
 }
 
 // AcquirePageLock records a SIREAD lock on a heap or index page. Index
 // range scans lock the leaf pages they traverse, which is what detects
 // phantoms (§5.2.1).
 func (m *Manager) AcquirePageLock(x *Xact, rel string, page int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.acquireLocked(x, PageTarget(rel, page))
+	m.acquire(x, PageTarget(rel, page))
 }
 
 // AcquireRelationLock records a relation-granularity SIREAD lock, used
 // for sequential scans and as the fallback for index types without
 // predicate-lock support (§7.4).
 func (m *Manager) AcquireRelationLock(x *Xact, rel string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.acquireLocked(x, RelationTarget(rel))
+	m.acquire(x, RelationTarget(rel))
 }
 
-// acquireLocked adds a SIREAD lock, skipping it if a coarser lock already
-// covers the target, and promoting granularity when thresholds or the
-// global capacity are exceeded. Caller holds m.mu.
-func (m *Manager) acquireLocked(x *Xact, t Target) {
-	if x.safe.Load() || x.committed || x.aborted {
+// acquire adds a SIREAD lock for x on t without touching the global SSI
+// mutex. Callers may hold m.mu (the batch and conflict paths do); the
+// ordering mu → lockMu → partition mutex permits that.
+func (m *Manager) acquire(x *Xact, t Target) {
+	if x.safe.Load() {
 		// Safe-snapshot transactions take no SIREAD locks (§4.2).
 		return
 	}
-	if m.coveredLocked(x, t) {
+	x.lockMu.Lock()
+	defer x.lockMu.Unlock()
+	m.acquireXLocked(x, t)
+}
+
+// acquireXLocked adds a SIREAD lock, skipping it if a coarser lock
+// already covers the target, and promoting granularity when thresholds
+// or the global capacity are exceeded. Caller holds x.lockMu.
+func (m *Manager) acquireXLocked(x *Xact, t Target) {
+	if x.lockingDone {
+		// The transaction finished, was summarized, or moved onto a
+		// safe snapshot: its lock set must not grow again.
+		return
+	}
+	if m.coveredXLocked(x, t) {
 		return
 	}
 	if _, dup := x.locks[t]; dup {
 		return
 	}
 	// Enforce the global capacity bound by consolidating this
-	// transaction's locks on the relation into a relation lock.
-	if int(m.stats.LocksCurrent) >= m.cfg.MaxPredicateLocks && t.Level != LevelRelation {
-		m.stats.CapacityPromotions++
-		m.promoteToRelationLocked(x, t.Rel)
+	// transaction's locks on the relation into a relation lock. The
+	// gauge is read without any table-wide lock, so brief overshoot by
+	// a few entries under concurrency is possible and acceptable.
+	if int(m.locksCurrent.Load()) >= m.cfg.MaxPredicateLocks && t.Level != LevelRelation {
+		m.capacityPromotions.Add(1)
+		m.promoteToRelationXLocked(x, t.Rel)
 		return
 	}
-	m.insertLockLocked(x, t)
+	m.insertLockXLocked(x, t)
 
 	switch t.Level {
 	case LevelTuple:
@@ -67,8 +80,8 @@ func (m *Manager) acquireLocked(x *Xact, t Target) {
 		}
 		x.tuplesOnPage[pk]++
 		if x.tuplesOnPage[pk] > m.cfg.PromoteTupleToPage {
-			m.stats.TuplePromotions++
-			m.promoteToPageLocked(x, t.Rel, t.Page)
+			m.tuplePromotions.Add(1)
+			m.promoteToPageXLocked(x, t.Rel, t.Page)
 		}
 	case LevelPage:
 		if x.pagesOnRel == nil {
@@ -76,14 +89,15 @@ func (m *Manager) acquireLocked(x *Xact, t Target) {
 		}
 		x.pagesOnRel[t.Rel]++
 		if x.pagesOnRel[t.Rel] > m.cfg.PromotePageToRel {
-			m.stats.PagePromotions++
-			m.promoteToRelationLocked(x, t.Rel)
+			m.pagePromotions.Add(1)
+			m.promoteToRelationXLocked(x, t.Rel)
 		}
 	}
 }
 
-// coveredLocked reports whether x already holds a coarser lock covering t.
-func (m *Manager) coveredLocked(x *Xact, t Target) bool {
+// coveredXLocked reports whether x already holds a coarser lock covering
+// t. Caller holds x.lockMu.
+func (m *Manager) coveredXLocked(x *Xact, t Target) bool {
 	if t.Level == LevelRelation {
 		return false
 	}
@@ -98,81 +112,97 @@ func (m *Manager) coveredLocked(x *Xact, t Target) bool {
 	return false
 }
 
-// insertLockLocked adds (t, x) to the lock table and x's lock set.
-func (m *Manager) insertLockLocked(x *Xact, t Target) {
-	holders := m.locks[t]
-	if holders == nil {
-		holders = make(map[*Xact]struct{})
-		m.locks[t] = holders
-	}
-	if _, ok := holders[x]; ok {
+// insertLockXLocked adds (t, x) to the lock table and x's lock set.
+// Caller holds x.lockMu; the partition mutex is taken here.
+func (m *Manager) insertLockXLocked(x *Xact, t Target) {
+	// x.locks and the partition's holder set are kept in sync under
+	// x.lockMu, so the transaction's own set doubles as the dup check.
+	if _, ok := x.locks[t]; ok {
 		return
 	}
+	p := m.partition(t)
+	p.mu.Lock()
+	holders := p.locks[t]
+	if holders == nil {
+		holders = make(map[*Xact]struct{})
+		p.locks[t] = holders
+	}
 	holders[x] = struct{}{}
+	p.mu.Unlock()
 	if x.locks == nil {
 		x.locks = make(map[Target]struct{})
 	}
 	x.locks[t] = struct{}{}
-	m.stats.LocksAcquired++
-	m.stats.LocksCurrent++
-	if m.stats.LocksCurrent > m.stats.LocksPeak {
-		m.stats.LocksPeak = m.stats.LocksCurrent
-	}
+	m.locksAcquired.Add(1)
+	m.bumpLocksCurrent(1)
 }
 
-// removeLockLocked removes (t, x) from the lock table and x's lock set.
-func (m *Manager) removeLockLocked(x *Xact, t Target) {
+// removeLockXLocked removes (t, x) from the lock table and x's lock set.
+// Caller holds x.lockMu.
+func (m *Manager) removeLockXLocked(x *Xact, t Target) {
 	if _, ok := x.locks[t]; !ok {
 		return
 	}
 	delete(x.locks, t)
-	if holders, ok := m.locks[t]; ok {
+	p := m.partition(t)
+	p.mu.Lock()
+	if holders, ok := p.locks[t]; ok {
 		delete(holders, x)
 		if len(holders) == 0 {
-			delete(m.locks, t)
+			delete(p.locks, t)
 		}
 	}
-	m.stats.LocksCurrent--
+	p.mu.Unlock()
+	m.locksCurrent.Add(-1)
 }
 
-// promoteToPageLocked replaces x's tuple locks on (rel, page) with a
-// single page lock.
-func (m *Manager) promoteToPageLocked(x *Xact, rel string, page int64) {
+// promoteToPageXLocked replaces x's tuple locks on (rel, page) with a
+// single page lock. The page lock is inserted BEFORE the tuple locks are
+// removed so that a concurrent writer, which checks granularities finest
+// to coarsest, can never observe a window with no covering lock (see
+// partition.go). Caller holds x.lockMu.
+func (m *Manager) promoteToPageXLocked(x *Xact, rel string, page int64) {
+	m.insertLockXLocked(x, PageTarget(rel, page))
 	for t := range x.locks {
 		if t.Level == LevelTuple && t.Rel == rel && t.Page == page {
-			m.removeLockLocked(x, t)
+			m.removeLockXLocked(x, t)
 		}
 	}
 	delete(x.tuplesOnPage, PageTarget(rel, page))
-	m.insertLockLocked(x, PageTarget(rel, page))
 	if x.pagesOnRel == nil {
 		x.pagesOnRel = make(map[string]int)
 	}
 	x.pagesOnRel[rel]++
 	if x.pagesOnRel[rel] > m.cfg.PromotePageToRel {
-		m.promoteToRelationLocked(x, rel)
+		m.promoteToRelationXLocked(x, rel)
 	}
 }
 
-// promoteToRelationLocked replaces all of x's locks on rel with a single
-// relation lock.
-func (m *Manager) promoteToRelationLocked(x *Xact, rel string) {
+// promoteToRelationXLocked replaces all of x's locks on rel with a single
+// relation lock, inserting the coarse lock before removing the fine ones
+// (same no-uncovered-window invariant as promoteToPageXLocked). Caller
+// holds x.lockMu.
+func (m *Manager) promoteToRelationXLocked(x *Xact, rel string) {
+	m.insertLockXLocked(x, RelationTarget(rel))
 	for t := range x.locks {
 		if t.Rel == rel && t.Level != LevelRelation {
-			m.removeLockLocked(x, t)
+			m.removeLockXLocked(x, t)
 			if t.Level == LevelTuple {
 				delete(x.tuplesOnPage, PageTarget(t.Rel, t.Page))
 			}
 		}
 	}
 	delete(x.pagesOnRel, rel)
-	m.insertLockLocked(x, RelationTarget(rel))
 }
 
-// releaseLocksLocked removes every SIREAD lock x holds.
+// releaseLocksLocked removes every SIREAD lock x holds and bars new
+// acquisitions. Caller holds m.mu; x.lockMu is taken here.
 func (m *Manager) releaseLocksLocked(x *Xact) {
+	x.lockMu.Lock()
+	defer x.lockMu.Unlock()
+	x.lockingDone = true
 	for t := range x.locks {
-		m.removeLockLocked(x, t)
+		m.removeLockXLocked(x, t)
 	}
 	x.tuplesOnPage = nil
 	x.pagesOnRel = nil
@@ -184,34 +214,45 @@ func (m *Manager) releaseLocksLocked(x *Xact) {
 // not call this inside a subtransaction, where a savepoint rollback could
 // release the write lock and leave the read unprotected.
 func (m *Manager) DropOwnTupleLock(x *Xact, rel string, page int64, key string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.removeLockLocked(x, TupleTarget(rel, page, key))
+	x.lockMu.Lock()
+	defer x.lockMu.Unlock()
+	m.removeLockXLocked(x, TupleTarget(rel, page, key))
 }
 
 // PageSplit propagates SIREAD locks held on a split index leaf page to
 // the new right sibling, the analogue of PredicateLockPageSplit. Without
-// this, entries moved to the new page would escape their gap locks.
+// this, entries moved to the new page would escape their gap locks. The
+// left and right pages may hash to different partitions; the operation
+// serializes through m.mu (so no holder can be cleaned up mid-copy) and
+// visits one partition at a time.
 func (m *Manager) PageSplit(rel string, left, right int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	lt := PageTarget(rel, left)
 	rt := PageTarget(rel, right)
-	if holders, ok := m.locks[lt]; ok {
-		for x := range holders {
-			if x == m.oldCommitted {
-				m.insertDummyLockLocked(rt, m.oldCommittedSeqs[lt])
-				continue
-			}
-			m.insertLockLocked(x, rt)
-			if x.pagesOnRel == nil {
-				x.pagesOnRel = make(map[string]int)
-			}
-			x.pagesOnRel[rel]++ // promotion bookkeeping only
+
+	lp := m.partition(lt)
+	lp.mu.Lock()
+	holders := make([]*Xact, 0, len(lp.locks[lt]))
+	for x := range lp.locks[lt] {
+		if x != m.oldCommitted {
+			holders = append(holders, x)
 		}
 	}
-	if seq, ok := m.oldCommittedSeqs[lt]; ok {
-		m.insertDummyLockLocked(rt, seq)
+	dummySeq, hasDummy := lp.dummySeqs[lt]
+	lp.mu.Unlock()
+
+	for _, x := range holders {
+		x.lockMu.Lock()
+		m.insertLockXLocked(x, rt)
+		if x.pagesOnRel == nil {
+			x.pagesOnRel = make(map[string]int)
+		}
+		x.pagesOnRel[rel]++ // promotion bookkeeping only
+		x.lockMu.Unlock()
+	}
+	if hasDummy {
+		m.insertDummyLockLocked(rt, dummySeq)
 	}
 }
 
@@ -219,74 +260,45 @@ func (m *Manager) PageSplit(rel string, left, right int64) {
 // relation granularity for its holder. PostgreSQL does this when DDL
 // statements such as CLUSTER or ALTER TABLE rewrite a table, invalidating
 // physical tuple and page identities (§5.2.1); the engine exposes it via
-// Table rewrite operations.
+// Table rewrite operations. Like PageSplit, it spans partitions and so
+// serializes through m.mu.
 func (m *Manager) PromoteRelationLocks(rel string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var affected []*Xact
+	affected := make(map[*Xact]struct{})
 	dummySeq := mvcc.InvalidSeqNo
-	for t, holders := range m.locks {
-		if t.Rel != rel || t.Level == LevelRelation {
-			continue
-		}
-		for x := range holders {
-			if x == m.oldCommitted {
-				if s := m.oldCommittedSeqs[t]; s > dummySeq {
-					dummySeq = s
-				}
+	var dummyTargets []Target
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.mu.Lock()
+		for t, hs := range p.locks {
+			if t.Rel != rel || t.Level == LevelRelation {
 				continue
 			}
-			affected = append(affected, x)
-		}
-	}
-	for _, x := range affected {
-		m.promoteToRelationLocked(x, rel)
-	}
-	if dummySeq != mvcc.InvalidSeqNo {
-		// Move the dummy transaction's fine locks up as well.
-		for t := range m.oldCommittedSeqs {
-			if t.Rel == rel && t.Level != LevelRelation {
-				m.removeDummyLockLocked(t)
+			for x := range hs {
+				if x == m.oldCommitted {
+					if s := p.dummySeqs[t]; s > dummySeq {
+						dummySeq = s
+					}
+					dummyTargets = append(dummyTargets, t)
+					continue
+				}
+				affected[x] = struct{}{}
 			}
 		}
+		p.mu.Unlock()
+	}
+	for x := range affected {
+		x.lockMu.Lock()
+		m.promoteToRelationXLocked(x, rel)
+		x.lockMu.Unlock()
+	}
+	if dummySeq != mvcc.InvalidSeqNo {
+		// Move the dummy transaction's fine locks up as well, coarse
+		// lock first.
 		m.insertDummyLockLocked(RelationTarget(rel), dummySeq)
-	}
-}
-
-// insertDummyLockLocked records a SIREAD lock held by the summarized
-// dummy transaction, remembering the latest commit seq of any holder so
-// the lock can eventually be cleaned up (§6.2).
-func (m *Manager) insertDummyLockLocked(t Target, seq mvcc.SeqNo) {
-	holders := m.locks[t]
-	if holders == nil {
-		holders = make(map[*Xact]struct{})
-		m.locks[t] = holders
-	}
-	if _, ok := holders[m.oldCommitted]; !ok {
-		holders[m.oldCommitted] = struct{}{}
-		m.stats.LocksCurrent++
-		if m.stats.LocksCurrent > m.stats.LocksPeak {
-			m.stats.LocksPeak = m.stats.LocksCurrent
-		}
-	}
-	if seq > m.oldCommittedSeqs[t] {
-		m.oldCommittedSeqs[t] = seq
-	}
-}
-
-// removeDummyLockLocked removes the dummy transaction's lock on t.
-func (m *Manager) removeDummyLockLocked(t Target) {
-	if _, ok := m.oldCommittedSeqs[t]; !ok {
-		return
-	}
-	delete(m.oldCommittedSeqs, t)
-	if holders, ok := m.locks[t]; ok {
-		if _, held := holders[m.oldCommitted]; held {
-			delete(holders, m.oldCommitted)
-			m.stats.LocksCurrent--
-		}
-		if len(holders) == 0 {
-			delete(m.locks, t)
+		for _, t := range dummyTargets {
+			m.removeDummyLockLocked(t)
 		}
 	}
 }
@@ -294,8 +306,8 @@ func (m *Manager) removeDummyLockLocked(t Target) {
 // HoldsLock reports whether x holds a SIREAD lock exactly on t (no
 // coarser-cover check). Exposed for tests.
 func (m *Manager) HoldsLock(x *Xact, t Target) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	x.lockMu.Lock()
+	defer x.lockMu.Unlock()
 	_, ok := x.locks[t]
 	return ok
 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+
+	"pgssi/internal/mvcc"
+)
+
+// This file implements the hash-partitioned SIREAD lock table, the
+// analogue of PostgreSQL's PredicateLockHashPartitionLock array. The
+// table is sharded by Target into Config.Partitions shards, each with
+// its own mutex, so lock acquisition and release — the hottest path in
+// the system, taken once per tuple read — do not serialize on the
+// global SSI mutex.
+//
+// Lock ordering (deadlock freedom and correctness rule):
+//
+//  1. Manager.mu — transaction lifecycle, the rw-antidependency graph,
+//     the committed-transaction FIFO, the summary table, and safe-
+//     snapshot bookkeeping.
+//  2. Xact.lockMu — one transaction's own lock bookkeeping (its lock
+//     set and granularity-promotion counters).
+//  3. lockPartition.mu — one shard of the target → holders table and
+//     of the summarized dummy transaction's lock tags.
+//
+// A thread may acquire these only outer-to-inner (mu before lockMu
+// before a partition mutex), holds at most one Xact.lockMu and at most
+// one partition mutex at a time, and never acquires an outer lock
+// while holding an inner one. Cross-partition operations (PageSplit,
+// PromoteRelationLocks, summarization, cleanup) serialize through
+// Manager.mu and then visit partitions one at a time, so they need no
+// ordering among partition mutexes.
+//
+// Two invariants keep conflict detection correct without a global
+// lock-table mutex (§5.2.1 with concurrent granularity promotion):
+//
+//   - Promotion inserts the coarser lock BEFORE removing the finer
+//     locks it replaces, so at every instant at least one granularity
+//     covering the read is present in the table.
+//   - Writers check granularities finest to coarsest (tuple, page,
+//     relation; see CheckWrite). Together with the previous invariant,
+//     any interleaving of a write check with a concurrent promotion
+//     sees the lock at one level or another: if the finer lock is
+//     already gone, the coarser one was inserted before the writer
+//     reached that coarser level.
+
+// lockPartition is one shard of the SIREAD lock table.
+type lockPartition struct {
+	mu sync.Mutex
+	// locks maps target → holders, for targets hashing to this shard.
+	locks map[Target]map[*Xact]struct{}
+	// dummySeqs records, per target held by the summarized dummy
+	// transaction, the latest commit sequence number of any absorbed
+	// holder, for cleanup (§6.2).
+	dummySeqs map[Target]mvcc.SeqNo
+}
+
+func newLockPartitions(n int) []lockPartition {
+	parts := make([]lockPartition, n)
+	for i := range parts {
+		parts[i].locks = make(map[Target]map[*Xact]struct{})
+		parts[i].dummySeqs = make(map[Target]mvcc.SeqNo)
+	}
+	return parts
+}
+
+// partition returns the shard responsible for t, by FNV-1a hash of the
+// full target tag (relation, level, page, key).
+func (m *Manager) partition(t Target) *lockPartition {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(t.Rel); i++ {
+		h ^= uint64(t.Rel[i])
+		h *= prime64
+	}
+	h ^= uint64(uint8(t.Level))
+	h *= prime64
+	h ^= uint64(t.Page)
+	h *= prime64
+	for i := 0; i < len(t.Key); i++ {
+		h ^= uint64(t.Key[i])
+		h *= prime64
+	}
+	return &m.parts[h&m.partMask]
+}
+
+// bumpLocksCurrent adjusts the live-lock gauge and maintains the peak.
+func (m *Manager) bumpLocksCurrent(delta int64) {
+	cur := m.locksCurrent.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	for {
+		peak := m.locksPeak.Load()
+		if cur <= peak || m.locksPeak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// insertDummyLockLocked records a SIREAD lock held by the summarized
+// dummy transaction, remembering the latest commit seq of any holder so
+// the lock can eventually be cleaned up (§6.2). Caller holds m.mu
+// (dummy locks are only created by lifecycle and structural operations,
+// which all serialize through the SSI mutex).
+func (m *Manager) insertDummyLockLocked(t Target, seq mvcc.SeqNo) {
+	p := m.partition(t)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	holders := p.locks[t]
+	if holders == nil {
+		holders = make(map[*Xact]struct{})
+		p.locks[t] = holders
+	}
+	if _, ok := holders[m.oldCommitted]; !ok {
+		holders[m.oldCommitted] = struct{}{}
+		m.bumpLocksCurrent(1)
+	}
+	if seq > p.dummySeqs[t] {
+		p.dummySeqs[t] = seq
+	}
+}
+
+// removeDummyLockLocked removes the dummy transaction's lock on t.
+// Caller holds m.mu.
+func (m *Manager) removeDummyLockLocked(t Target) {
+	p := m.partition(t)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m.removeDummyPartLocked(p, t)
+}
+
+// removeDummyPartLocked removes the dummy transaction's lock on t,
+// which must hash to p. Caller holds m.mu and p.mu.
+func (m *Manager) removeDummyPartLocked(p *lockPartition, t Target) {
+	if _, ok := p.dummySeqs[t]; !ok {
+		return
+	}
+	delete(p.dummySeqs, t)
+	if holders, ok := p.locks[t]; ok {
+		if _, held := holders[m.oldCommitted]; held {
+			delete(holders, m.oldCommitted)
+			m.locksCurrent.Add(-1)
+		}
+		if len(holders) == 0 {
+			delete(p.locks, t)
+		}
+	}
+}
+
+// expireDummyLocksLocked drops every dummy lock whose absorbed holders
+// all committed at or before minSeq (§6.1). Caller holds m.mu.
+func (m *Manager) expireDummyLocksLocked(minSeq mvcc.SeqNo) {
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.mu.Lock()
+		for t, seq := range p.dummySeqs {
+			if seq <= minSeq {
+				m.removeDummyPartLocked(p, t)
+			}
+		}
+		p.mu.Unlock()
+	}
+}

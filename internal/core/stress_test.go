@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// Concurrency stress tests for the partitioned SIREAD lock table. Run
+// under -race these exercise every cross-lock interaction the partition
+// scheme introduces: mutex-free tuple acquisition racing granularity
+// promotion, PageSplit copying locks across partitions while holders
+// acquire and release, DropOwnTupleLock racing end-of-transaction
+// cleanup, DDL-style PromoteRelationLocks sweeping all partitions, and
+// read-only transactions whose safe-snapshot transition drops their
+// locks mid-read.
+
+func TestPartitionedLockTableStress(t *testing.T) {
+	for _, parts := range []int{1, 8} {
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			h := newHarness(t, Config{
+				Partitions:         parts,
+				PromoteTupleToPage: 3,
+				PromotePageToRel:   3,
+			})
+			const (
+				workers     = 8
+				txnsPerWkr  = 150
+				readsPerTxn = 12
+			)
+
+			var workerWG sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				workerWG.Add(1)
+				go func(seed uint64) {
+					defer workerWG.Done()
+					rng := rand.New(rand.NewPCG(seed, 99))
+					for i := 0; i < txnsPerWkr; i++ {
+						readOnly := rng.IntN(8) == 0
+						x := h.begin(readOnly)
+						failed := false
+						for j := 0; j < readsPerTxn; j++ {
+							page := int64(rng.IntN(8))
+							key := strconv.Itoa(rng.IntN(16))
+							if err := h.mgr.CheckRead(x, "t", page, key, nil, false); err != nil {
+								failed = true
+								break
+							}
+							if !readOnly && rng.IntN(4) == 0 {
+								// Write a tuple this or another worker
+								// reads, then drop our own SIREAD lock
+								// on it (§7.3) — racing other workers'
+								// cleanup and the splitter.
+								if err := h.mgr.CheckWrite(x, "t", page, key); err != nil {
+									failed = true
+									break
+								}
+								h.mgr.DropOwnTupleLock(x, "t", page, key)
+							}
+							if rng.IntN(8) == 0 {
+								h.mgr.AcquirePageLock(x, "ddl", int64(rng.IntN(4)))
+							}
+						}
+						if failed {
+							h.abort(x)
+							continue
+						}
+						if err := h.commit(x); err != nil && !errors.Is(err, ErrSerializationFailure) {
+							t.Errorf("commit: %v", err)
+							return
+						}
+					}
+				}(uint64(w + 1))
+			}
+
+			// Structural churn concurrent with the workers: page splits
+			// whose left and right pages hash to different partitions,
+			// and full-relation promotion sweeps.
+			stop := make(chan struct{})
+			var structWG sync.WaitGroup
+			structWG.Add(1)
+			go func() {
+				defer structWG.Done()
+				next := int64(1000)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for p := int64(0); p < 8; p++ {
+						h.mgr.PageSplit("t", p, next)
+						next++
+					}
+					h.mgr.PromoteRelationLocks("ddl")
+				}
+			}()
+
+			workerWG.Wait()
+			close(stop)
+			structWG.Wait()
+
+			// Quiesced: no transaction is active, so cleanup must have
+			// dropped all tracked state, and the gauge must agree with a
+			// real count of the table (LockCount walks the partitions).
+			if n := h.mgr.TrackedXacts(); n != 0 {
+				t.Fatalf("tracked xacts after quiesce = %d, want 0", n)
+			}
+			real := h.mgr.LockCount()
+			if gauge := int(h.mgr.Stats().LocksCurrent); real != gauge {
+				t.Fatalf("lock table count %d disagrees with LocksCurrent gauge %d", real, gauge)
+			}
+			if real != 0 {
+				t.Fatalf("locks leaked after quiesce: %d", real)
+			}
+		})
+	}
+}
+
+// TestConcurrentPromotionVsWriteCheck hammers the specific §5.2.1
+// interleaving the partition scheme must preserve: one transaction's
+// tuple locks being promoted to a page lock while another transaction's
+// write check walks the granularities. The write must never miss the
+// reader entirely — every writer either sees a lock (and gains the
+// rw-antidependency edge) at some granularity or dooms/aborts.
+func TestConcurrentPromotionVsWriteCheck(t *testing.T) {
+	h := newHarness(t, Config{Partitions: 8, PromoteTupleToPage: 2})
+	const rounds = 400
+	for i := 0; i < rounds; i++ {
+		r := h.begin(false)
+		w := h.begin(false)
+		// The reader's tuple lock on "0" is in place before the writer
+		// starts; a second lock brings the page to the promotion
+		// threshold.
+		for j := 0; j < 2; j++ {
+			if err := h.mgr.CheckRead(r, "t", 1, strconv.Itoa(j), nil, false); err != nil {
+				t.Fatalf("round %d: %v", i, err)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// Reads past the threshold replace the tuple locks
+			// (including "0") with a page lock, concurrently with the
+			// writer's granularity walk.
+			for j := 2; j < 5; j++ {
+				if err := h.mgr.CheckRead(r, "t", 1, strconv.Itoa(j), nil, false); err != nil {
+					return
+				}
+			}
+		}()
+		errCh := make(chan error, 1)
+		go func() {
+			defer wg.Done()
+			errCh <- h.mgr.CheckWrite(w, "t", 1, "0")
+		}()
+		wg.Wait()
+		if err := <-errCh; err != nil && !errors.Is(err, ErrSerializationFailure) {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		// The reader held a lock covering "0" (tuple or, mid-promotion,
+		// page) at every instant of the writer's check, so the edge
+		// r → w must have been recorded regardless of interleaving.
+		h.mgr.mu.Lock()
+		_, hasEdge := r.outConflicts[w]
+		h.mgr.mu.Unlock()
+		if !hasEdge {
+			t.Fatalf("round %d: writer missed reader's lock during promotion", i)
+		}
+		h.abort(r)
+		h.abort(w)
+	}
+}

@@ -37,10 +37,12 @@ func (m *Manager) Prepare(x *Xact) (PreparedState, error) {
 		return PreparedState{}, err
 	}
 	x.prepared = true
+	x.lockMu.Lock()
 	st := PreparedState{XID: x.XID, Locks: make([]Target, 0, len(x.locks))}
 	for t := range x.locks {
 		st.Locks = append(st.Locks, t)
 	}
+	x.lockMu.Unlock()
 	return st, nil
 }
 
@@ -91,9 +93,11 @@ func (m *Manager) RecoverPrepared(st PreparedState, snapshotSeq mvcc.SeqNo) *Xac
 	x.earliestOutConflictCommit = 1
 	m.xacts[st.XID] = x
 	m.active[x] = struct{}{}
+	x.lockMu.Lock()
 	for _, t := range st.Locks {
-		m.insertLockLocked(x, t)
+		m.insertLockXLocked(x, t)
 	}
+	x.lockMu.Unlock()
 	return x
 }
 

@@ -97,22 +97,31 @@ type SIBenchSeries struct {
 // with SSI / SSI-no-r/o-opt / S2PL throughput normalized to SI — the
 // exact series of Figure 4.
 func Figure4(rows []int, opts RunOptions) ([]SIBenchSeries, error) {
+	return Figure4Cfg(rows, pgssi.Config{}, opts)
+}
+
+// Figure4Cfg is Figure4 with a base database configuration applied to
+// every series, used to sweep engine knobs (e.g. SIREAD lock-table
+// partitions) across the benchmark.
+func Figure4Cfg(rows []int, base pgssi.Config, opts RunOptions) ([]SIBenchSeries, error) {
 	var out []SIBenchSeries
 	for _, n := range rows {
 		b := SIBench{Rows: n}
-		si, err := b.Run(pgssi.Config{}, withLevel(opts, pgssi.RepeatableRead))
+		si, err := b.Run(base, withLevel(opts, pgssi.RepeatableRead))
 		if err != nil {
 			return nil, err
 		}
-		ssi, err := b.Run(pgssi.Config{}, withLevel(opts, pgssi.Serializable))
+		ssi, err := b.Run(base, withLevel(opts, pgssi.Serializable))
 		if err != nil {
 			return nil, err
 		}
-		noRO, err := b.Run(pgssi.Config{DisableReadOnlyOpt: true}, withLevel(opts, pgssi.Serializable))
+		noROCfg := base
+		noROCfg.DisableReadOnlyOpt = true
+		noRO, err := b.Run(noROCfg, withLevel(opts, pgssi.Serializable))
 		if err != nil {
 			return nil, err
 		}
-		s2pl, err := b.Run(pgssi.Config{}, withLevel(opts, pgssi.SerializableS2PL))
+		s2pl, err := b.Run(base, withLevel(opts, pgssi.SerializableS2PL))
 		if err != nil {
 			return nil, err
 		}
