@@ -115,10 +115,33 @@ type Config struct {
 	// DisableReadOnlyOpt turns off the §4 read-only optimizations
 	// (the "SSI no r/o opt" series in Figures 4 and 5).
 	DisableReadOnlyOpt bool
+
+	// LatchPartitions is the number of shards in each table's per-page
+	// read latch table (the engine's analogue of PostgreSQL's buffer
+	// content lock for SSI; see internal/storage/latch.go). Rounded up
+	// to a power of two; defaults to 64.
+	LatchPartitions int
+	// DisableReadLatch disables the per-page read latch, reopening the
+	// detection window between a read's MVCC visibility check and its
+	// SIREAD-lock insertion. Test-only ablation: with it set, a writer
+	// racing a reader can miss an rw-antidependency and admit a
+	// non-serializable execution. Never set it in production.
+	DisableReadLatch bool
+	// OnRead, if non-nil, is invoked on every heap read between the
+	// MVCC visibility check and SIREAD registration. Test-only
+	// interleaving hook used by the deterministic race harness; with
+	// the latch enabled it runs while the page latch is held.
+	OnRead func(table, key string)
 }
 
 func (c Config) storageConfig() storage.Config {
-	return storage.Config{IODelay: c.IODelay, CacheMissRatio: c.CacheMissRatio}
+	return storage.Config{
+		IODelay:          c.IODelay,
+		CacheMissRatio:   c.CacheMissRatio,
+		LatchPartitions:  c.LatchPartitions,
+		DisableReadLatch: c.DisableReadLatch,
+		Hooks:            storage.Hooks{OnRead: c.OnRead},
+	}
 }
 
 func (c Config) ssiConfig() core.Config {

@@ -1,0 +1,393 @@
+package pgssi_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgssi"
+)
+
+// Tests in this file drive the read-vs-write detection window with a
+// deterministic interleaving harness. The engine's Serializable level
+// computes a read's MVCC conflict-out set and inserts its SIREAD lock in
+// separate steps; the per-page read latch (internal/storage/latch.go)
+// makes the pair atomic with respect to writers of the same page. The
+// Config.OnRead hook pauses a chosen reader exactly between the two
+// steps, so the tests can:
+//
+//   - reproduce the missed rw-antidependency on the unlatched code path
+//     (Config.DisableReadLatch): a writer slips its CheckWrite probe
+//     into the window, both transactions commit, and write skew is
+//     admitted under SERIALIZABLE — the §2.1.1 silent corruption;
+//   - prove the latch closes it: the same interleaving cannot be
+//     scheduled (the writer blocks on the latch until the reader's
+//     SIREAD lock is registered), and exactly one transaction aborts
+//     with a serialization failure.
+//
+// The absent-key/gap case has no such window — the index leaf gap lock
+// is taken under the btree tree lock before the heap read — and the
+// tests document that by asserting detection with the latch both on and
+// off.
+
+// readPauser arms a one-shot pause in the OnRead hook for a single key.
+type readPauser struct {
+	key      string
+	armed    atomic.Bool
+	inWindow chan struct{}
+	release  chan struct{}
+}
+
+func newReadPauser() *readPauser {
+	return &readPauser{
+		inWindow: make(chan struct{}),
+		release:  make(chan struct{}),
+	}
+}
+
+// arm makes the next heap read of key pause. Call before the reader
+// goroutine starts.
+func (p *readPauser) arm(key string) {
+	p.key = key
+	p.armed.Store(true)
+}
+
+func (p *readPauser) hook(_, key string) {
+	if key == p.key && p.armed.CompareAndSwap(true, false) {
+		close(p.inWindow)
+		<-p.release
+	}
+}
+
+// windowDB builds a two-row database whose rows land on distinct heap
+// pages (64 filler rows push k2 onto the next page), so the latch held
+// by a paused reader of k1 does not incidentally block reads of k2.
+func windowDB(t *testing.T, cfg pgssi.Config) *pgssi.DB {
+	t.Helper()
+	db := pgssi.Open(cfg)
+	if err := db.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	seed, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, seed.Insert("t", "k1", []byte("on")))
+	for i := 0; i < 64; i++ {
+		mustExec(t, seed.Insert("t", fmt.Sprintf("filler%02d", i), []byte("x")))
+	}
+	mustExec(t, seed.Insert("t", "k2", []byte("on")))
+	mustExec(t, seed.Commit())
+	return db
+}
+
+// readKey reads one key either through the point-read path (Get) or the
+// index-scan path (Scan), the two paths whose SIREAD registration the
+// latch must make atomic with the visibility check.
+func readKey(tx *pgssi.Tx, key string, viaScan bool) ([]byte, error) {
+	if !viaScan {
+		return tx.Get("t", key)
+	}
+	var val []byte
+	found := false
+	err := tx.Scan("t", key, key+"\x00", func(_ string, v []byte) bool {
+		val, found = v, true
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, pgssi.ErrNotFound
+	}
+	return val, nil
+}
+
+// driveWindowWriteSkew drives the canonical write-skew interleaving
+// with T1 parked in the detection window of its read of k1:
+//
+//	T1: read k1 … [window] …            … write k2, commit
+//	T2:            read k2, write k1, commit
+//
+// With the latch disabled T2 commits entirely inside T1's window; with
+// it enabled T2 blocks on the page latch until T1's SIREAD lock is in
+// the table. Returns the first error of each transaction.
+func driveWindowWriteSkew(t *testing.T, db *pgssi.DB, p *readPauser, disableLatch, viaScan bool) (err1, err2 error) {
+	t.Helper()
+	t1, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+	mustExec(t, err)
+	t2, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+	mustExec(t, err)
+
+	p.arm("k1")
+	t2start := make(chan struct{})
+	t2finished := make(chan struct{})
+	t1finished := make(chan struct{})
+	var t1err, t2err error
+
+	go func() {
+		defer close(t1finished)
+		t1err = func() error {
+			if _, err := readKey(t1, "k1", viaScan); err != nil {
+				t1.Rollback()
+				return err
+			}
+			// Keep the canonical order: T1 resumes its writes only
+			// after T2 is done (in the unlatched run T2 is already
+			// done when the pause lifts).
+			<-t2finished
+			if err := t1.Update("t", "k2", []byte("off")); err != nil {
+				t1.Rollback()
+				return err
+			}
+			return t1.Commit()
+		}()
+	}()
+
+	go func() {
+		defer close(t2finished)
+		<-t2start
+		t2err = func() error {
+			if _, err := readKey(t2, "k2", viaScan); err != nil {
+				t2.Rollback()
+				return err
+			}
+			if err := t2.Update("t", "k1", []byte("off")); err != nil {
+				t2.Rollback()
+				return err
+			}
+			return t2.Commit()
+		}()
+	}()
+
+	<-p.inWindow
+	close(t2start)
+	if disableLatch {
+		// The open window: the writer must be able to run to commit
+		// while the reader is paused between its visibility check and
+		// its SIREAD insertion.
+		<-t2finished
+	} else {
+		// The latch excludes the writer for as long as the reader
+		// holds the page. (A false pass here would need T2 to finish;
+		// a slow scheduler can only make the select take the safe
+		// timeout arm.)
+		select {
+		case <-t2finished:
+			t.Fatal("writer committed while reader held the page latch")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	close(p.release)
+	<-t1finished
+	<-t2finished
+	return t1err, t2err
+}
+
+// onCount counts rows of value "on" among k1, k2.
+func onCount(t *testing.T, db *pgssi.DB) int {
+	t.Helper()
+	check, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	mustExec(t, err)
+	defer check.Rollback()
+	n := 0
+	for _, k := range []string{"k1", "k2"} {
+		v, err := check.Get("t", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) == "on" {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDetectionWindowWriteSkew(t *testing.T) {
+	for _, via := range []struct {
+		name    string
+		viaScan bool
+	}{{"Get", false}, {"Scan", true}} {
+		t.Run(via.name, func(t *testing.T) {
+			t.Run("latch-disabled-misses-antidependency", func(t *testing.T) {
+				// The regression this PR fixes, reproduced: with the
+				// latch ablated, T2's CheckWrite runs in T1's window,
+				// sees neither T1's SIREAD lock nor a conflicting
+				// version, and the rw-antidependency T1 → T2 is lost.
+				// Both transactions commit and the write-skew anomaly
+				// survives SERIALIZABLE.
+				err1, err2 := runWindowWriteSkewCheck(t, true, via.viaScan)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("expected the unlatched engine to miss the conflict and commit both: err1=%v err2=%v", err1, err2)
+				}
+			})
+			t.Run("latch-enabled-detects", func(t *testing.T) {
+				err1, err2 := runWindowWriteSkewCheck(t, false, via.viaScan)
+				if (err1 == nil) == (err2 == nil) {
+					t.Fatalf("exactly one transaction should fail: err1=%v err2=%v", err1, err2)
+				}
+				failed := err1
+				if failed == nil {
+					failed = err2
+				}
+				if !pgssi.IsSerializationFailure(failed) {
+					t.Fatalf("failure should be a serialization failure, got %v", failed)
+				}
+			})
+		})
+	}
+}
+
+// runWindowWriteSkewCheck runs the interleaving and verifies the final
+// state matches the commit outcome: the invariant "at least one of k1,
+// k2 is on" is broken exactly when both transactions committed.
+func runWindowWriteSkewCheck(t *testing.T, disableLatch, viaScan bool) (err1, err2 error) {
+	t.Helper()
+	p := newReadPauser()
+	db := windowDB(t, pgssi.Config{DisableReadLatch: disableLatch, OnRead: p.hook})
+	err1, err2 = driveWindowWriteSkew(t, db, p, disableLatch, viaScan)
+	aborted := 0
+	for _, e := range []error{err1, err2} {
+		if e != nil {
+			if !pgssi.IsSerializationFailure(e) {
+				t.Fatalf("unexpected error: %v", e)
+			}
+			aborted++
+		}
+	}
+	if n := onCount(t, db); (aborted == 0) != (n == 0) {
+		t.Fatalf("final state inconsistent with outcome: %d aborts, %d rows on", aborted, n)
+	}
+	return err1, err2
+}
+
+// TestDetectionWindowWriterFirst is the opposite commit order: the
+// writer's update and commit land entirely before the reader's
+// visibility check, so the conflict is inferred from MVCC data (§5.2's
+// "if the write happens first" case) and detection cannot depend on the
+// latch. Exactly one transaction must abort with the latch on or off.
+func TestDetectionWindowWriterFirst(t *testing.T) {
+	for _, via := range []struct {
+		name    string
+		viaScan bool
+	}{{"Get", false}, {"Scan", true}} {
+		for _, disable := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/latch-disabled=%v", via.name, disable), func(t *testing.T) {
+				db := windowDB(t, pgssi.Config{DisableReadLatch: disable})
+				t1, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+				mustExec(t, err)
+				t2, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+				mustExec(t, err)
+
+				// T2 runs to completion first (T1's snapshot already
+				// taken, so the transactions are concurrent).
+				var err2 error
+				if _, err := readKey(t2, "k2", via.viaScan); err != nil {
+					t.Fatal(err)
+				}
+				if err := t2.Update("t", "k1", []byte("off")); err != nil {
+					err2 = err
+					t2.Rollback()
+				} else {
+					err2 = t2.Commit()
+				}
+				mustExec(t, err2)
+
+				// T1's read of k1 now sees T2's committed, invisible
+				// version: conflict out via MVCC.
+				var err1 error
+				if _, err := readKey(t1, "k1", via.viaScan); err != nil {
+					err1 = err
+					t1.Rollback()
+				} else if err := t1.Update("t", "k2", []byte("off")); err != nil {
+					err1 = err
+					t1.Rollback()
+				} else {
+					err1 = t1.Commit()
+				}
+				if err1 == nil {
+					t.Fatal("T1 must abort: T2 → T1 → T2 is a cycle with T2 committed")
+				}
+				if !pgssi.IsSerializationFailure(err1) {
+					t.Fatalf("expected serialization failure, got %v", err1)
+				}
+				if n := onCount(t, db); n != 1 {
+					t.Fatalf("invariant broken: %d rows on, want 1", n)
+				}
+			})
+		}
+	}
+}
+
+// TestDetectionWindowGapInsert covers the absent-key/gap case: two
+// transactions each probe a missing key and insert the other's key. The
+// gap path has no detection window — the index leaf gap lock is taken
+// under the btree tree lock before the heap read — so the antidependency
+// cycle is caught with the latch disabled as well, with the reader
+// paused in the same hook window. The paused reader holds no page latch
+// (there is no visible version), so the writer completes in both modes.
+func TestDetectionWindowGapInsert(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		t.Run(fmt.Sprintf("latch-disabled=%v", disable), func(t *testing.T) {
+			p := newReadPauser()
+			db := windowDB(t, pgssi.Config{DisableReadLatch: disable, OnRead: p.hook})
+			t1, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+			mustExec(t, err)
+			t2, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+			mustExec(t, err)
+
+			p.arm("g1")
+			t1finished := make(chan struct{})
+			t2finished := make(chan struct{})
+			var err1, err2 error
+			go func() {
+				defer close(t1finished)
+				err1 = func() error {
+					if _, err := t1.Get("t", "g1"); !errors.Is(err, pgssi.ErrNotFound) {
+						return fmt.Errorf("gap probe: got %v, want ErrNotFound", err)
+					}
+					<-t2finished
+					if err := t1.Insert("t", "g2", []byte("v")); err != nil {
+						t1.Rollback()
+						return err
+					}
+					return t1.Commit()
+				}()
+			}()
+
+			<-p.inWindow
+			// T2 commits entirely while T1 is paused after its gap
+			// probe: the index gap lock T1 took before the pause is
+			// what T2's CheckIndexInsert must find.
+			go func() {
+				defer close(t2finished)
+				err2 = func() error {
+					if _, err := t2.Get("t", "g2"); !errors.Is(err, pgssi.ErrNotFound) {
+						return fmt.Errorf("gap probe: got %v, want ErrNotFound", err)
+					}
+					if err := t2.Insert("t", "g1", []byte("v")); err != nil {
+						t2.Rollback()
+						return err
+					}
+					return t2.Commit()
+				}()
+			}()
+			<-t2finished
+			close(p.release)
+			<-t1finished
+
+			if (err1 == nil) == (err2 == nil) {
+				t.Fatalf("exactly one transaction should fail: err1=%v err2=%v", err1, err2)
+			}
+			failed := err1
+			if failed == nil {
+				failed = err2
+			}
+			if !pgssi.IsSerializationFailure(failed) {
+				t.Fatalf("failure should be a serialization failure, got %v", failed)
+			}
+		})
+	}
+}

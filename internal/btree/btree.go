@@ -8,6 +8,16 @@
 //
 // Keys are unique. Non-unique secondary indexes are built by suffixing
 // the primary key onto the index key, the standard composite-key trick.
+//
+// For the absent-key/gap case the tree lock itself plays the role the
+// per-page read latch (internal/storage/latch.go) plays for heap
+// tuples: Lookup and Range invoke their onPage callback — where the
+// engine takes the leaf-page SIREAD gap lock — while the tree lock is
+// held, and before the heap read, so an insert (which runs its
+// CheckIndexInsert probe after taking the tree's write lock) either
+// sees the gap lock or has already placed its heap version where the
+// reader's visibility check reports it as a conflict. There is no
+// check-then-register window on the gap path.
 package btree
 
 import (

@@ -17,13 +17,17 @@ import (
 // SIREAD lock is needed. Returns ErrSerializationFailure if x was doomed
 // or becomes the victim of a dangerous structure discovered here.
 //
-// Known limitation (predating the partitioned lock table): the engine
-// computes conflictOut during the MVCC read and inserts the SIREAD lock
-// here, in separate steps. A writer whose CheckWrite runs between the
-// two sees neither the lock nor a version its write would invalidate.
-// PostgreSQL closes that window by holding the buffer page lock across
-// the read and the predicate-lock insertion; this engine has no
-// per-page content lock to play that role at any lock-table sharding.
+// The engine computes conflictOut during the MVCC read and inserts the
+// SIREAD lock here, in separate calls; what makes the pair atomic with
+// respect to CheckWrite is that both run under the storage layer's
+// per-page read latch (storage/latch.go), the analogue of the buffer
+// page lock PostgreSQL holds across the visibility check and the
+// predicate-lock insertion. Callers on the heap read path must invoke
+// CheckRead from inside storage.Table.Read's callback; CheckWrite is
+// correspondingly invoked from the Update/Delete check callback, after
+// the xmax stamp and under the same latch, so a writer can never probe
+// the lock table in a window where a concurrent reader's lock is
+// missing and its version stamp is not yet visible.
 func (m *Manager) CheckRead(x *Xact, rel string, page int64, key string, conflictOut []mvcc.TxID, ownWrite bool) error {
 	if x.doomed.Load() {
 		return ErrSerializationFailure
@@ -517,6 +521,14 @@ type ReadItem struct {
 // MVCC conflicts (the common case) never takes the SSI mutex: it holds
 // the transaction's own lockMu across the batch and touches only the
 // lock-table partitions.
+//
+// The engine's heap scan path no longer uses this entry point: a batch
+// spanning many heap pages cannot run under a single per-page read
+// latch, so scans acquire each row's SIREAD lock via CheckRead inside
+// storage.Table.Read's latched callback and batch only the MVCC
+// conflict flagging (CheckScanConflicts). CheckReadBatch remains for
+// callers that batch reads whose atomicity is established by other
+// means (and is exercised directly by the concurrency stress tests).
 func (m *Manager) CheckReadBatch(x *Xact, rel string, items []ReadItem) error {
 	if len(items) == 0 {
 		return nil

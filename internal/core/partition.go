@@ -15,6 +15,14 @@ import (
 //
 // Lock ordering (deadlock freedom and correctness rule):
 //
+//  0. Storage-layer locks (internal/storage): a heap shard mutex, then
+//     a per-page read latch (storage/latch.go). The engine's read and
+//     write paths enter this package while holding a page latch — the
+//     latch is what makes a read's {visibility check, SIREAD insert}
+//     and a write's {xmax stamp, CheckWrite probe} atomic units — so
+//     every lock below nests strictly inside the storage locks. No
+//     code path in this package may call into internal/storage or
+//     otherwise acquire a storage lock.
 //  1. Manager.mu — transaction lifecycle, the rw-antidependency graph,
 //     the committed-transaction FIFO, the summary table, and safe-
 //     snapshot bookkeeping.

@@ -4,9 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"pgssi/internal/mvcc"
 )
 
 // Concurrency stress tests for the partitioned SIREAD lock table. Run
@@ -117,6 +121,214 @@ func TestPartitionedLockTableStress(t *testing.T) {
 				t.Fatalf("locks leaked after quiesce: %d", real)
 			}
 		})
+	}
+}
+
+// TestCheckReadBatchStress covers the scan path's batch entry point
+// under -race: workers issue CheckReadBatch calls whose items mix
+// conflict-free rows (the lockMu-only fast path), rows with MVCC
+// conflict-out sets naming other workers' transactions (the SSI-mutex
+// path), own-write suppressions, and key-less conflict-only items —
+// racing writers running CheckWrite over the same targets, granularity
+// promotion (low thresholds), and PageSplit churn.
+func TestCheckReadBatchStress(t *testing.T) {
+	h := newHarness(t, Config{
+		Partitions:         8,
+		PromoteTupleToPage: 3,
+		PromotePageToRel:   4,
+	})
+	const (
+		workers    = 8
+		txnsPerWkr = 120
+	)
+	// recentXIDs is a lock-free ring of transaction IDs other workers
+	// may cite as MVCC conflict-out writers: some will be active, some
+	// committed-and-tracked, some cleaned up — all states
+	// flagConflictOutLocked must handle.
+	var recentXIDs [16]atomic.Uint64
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(seed uint64) {
+			defer workerWG.Done()
+			rng := rand.New(rand.NewPCG(seed, 7))
+			for i := 0; i < txnsPerWkr; i++ {
+				x := h.begin(false)
+				recentXIDs[rng.IntN(len(recentXIDs))].Store(uint64(x.XID))
+				failed := false
+				for b := 0; b < 3 && !failed; b++ {
+					items := make([]ReadItem, 0, 8)
+					for j := 0; j < 8; j++ {
+						it := ReadItem{
+							Page: int64(rng.IntN(6)),
+							Key:  strconv.Itoa(rng.IntN(12)),
+						}
+						switch rng.IntN(6) {
+						case 0:
+							// Conflict-bearing row.
+							if xid := recentXIDs[rng.IntN(len(recentXIDs))].Load(); xid != 0 {
+								it.ConflictOut = []mvcc.TxID{mvcc.TxID(xid)}
+							}
+						case 1:
+							// Row with conflicts but no visible
+							// version: no SIREAD lock to take.
+							it.Key = ""
+							if xid := recentXIDs[rng.IntN(len(recentXIDs))].Load(); xid != 0 {
+								it.ConflictOut = []mvcc.TxID{mvcc.TxID(xid)}
+							}
+						case 2:
+							it.OwnWrite = true
+						}
+						items = append(items, it)
+					}
+					if err := h.mgr.CheckReadBatch(x, "t", items); err != nil {
+						failed = true
+						break
+					}
+					if rng.IntN(3) == 0 {
+						page := int64(rng.IntN(6))
+						key := strconv.Itoa(rng.IntN(12))
+						if err := h.mgr.CheckWrite(x, "t", page, key); err != nil {
+							failed = true
+						}
+					}
+				}
+				if failed {
+					h.abort(x)
+					continue
+				}
+				if err := h.commit(x); err != nil && !errors.Is(err, ErrSerializationFailure) {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+
+	stop := make(chan struct{})
+	var structWG sync.WaitGroup
+	structWG.Add(1)
+	go func() {
+		defer structWG.Done()
+		next := int64(1000)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for p := int64(0); p < 6; p++ {
+				h.mgr.PageSplit("t", p, next)
+				next++
+			}
+		}
+	}()
+
+	workerWG.Wait()
+	close(stop)
+	structWG.Wait()
+
+	if n := h.mgr.TrackedXacts(); n != 0 {
+		t.Fatalf("tracked xacts after quiesce = %d, want 0", n)
+	}
+	real := h.mgr.LockCount()
+	if gauge := int(h.mgr.Stats().LocksCurrent); real != gauge {
+		t.Fatalf("lock table count %d disagrees with LocksCurrent gauge %d", real, gauge)
+	}
+	if real != 0 {
+		t.Fatalf("locks leaked after quiesce: %d", real)
+	}
+}
+
+// TestTwoPhaseCommitStress races the §7.1 two-phase path against
+// concurrent read/write transactions under -race: workers read and
+// write, then Prepare; a successful Prepare must make CommitPrepared
+// infallible even while other workers' CheckWrite calls flag new
+// conflicts against the prepared transaction's still-active SIREAD
+// locks (exercising the prepared-pivot and prepared-T3 branches of the
+// dangerous-structure checks). A slice of prepared transactions are
+// rolled back instead, covering AbortPrepared cleanup.
+func TestTwoPhaseCommitStress(t *testing.T) {
+	h := newHarness(t, Config{Partitions: 8, PromoteTupleToPage: 4})
+	const (
+		workers    = 8
+		txnsPerWkr = 120
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 31))
+			for i := 0; i < txnsPerWkr; i++ {
+				x := h.begin(false)
+				failed := false
+				for j := 0; j < 4; j++ {
+					page := int64(rng.IntN(4))
+					key := strconv.Itoa(rng.IntN(8))
+					if err := h.mgr.CheckRead(x, "t", page, key, nil, false); err != nil {
+						failed = true
+						break
+					}
+					if rng.IntN(2) == 0 {
+						if err := h.mgr.CheckWrite(x, "t", page, key); err != nil {
+							failed = true
+							break
+						}
+					}
+				}
+				if failed {
+					h.abort(x)
+					continue
+				}
+				if rng.IntN(2) == 0 {
+					// Plain one-phase commit in the mix.
+					if err := h.commit(x); err != nil && !errors.Is(err, ErrSerializationFailure) {
+						t.Errorf("commit: %v", err)
+						return
+					}
+					continue
+				}
+				if _, err := h.mgr.Prepare(x); err != nil {
+					if !errors.Is(err, ErrSerializationFailure) {
+						t.Errorf("prepare: %v", err)
+						return
+					}
+					h.abort(x)
+					continue
+				}
+				// Let other workers' conflict checks observe the
+				// prepared state before the second phase.
+				runtime.Gosched()
+				if rng.IntN(8) == 0 {
+					h.mv.Abort(x.XID)
+					if err := h.mgr.AbortPrepared(x); err != nil {
+						t.Errorf("abort prepared: %v", err)
+						return
+					}
+					continue
+				}
+				// A prepared transaction is guaranteed committable:
+				// CommitPrepared must never fail.
+				if err := h.mgr.CommitPrepared(x, func() mvcc.SeqNo { return h.mv.Commit(x.XID) }); err != nil {
+					t.Errorf("commit prepared: %v", err)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+
+	if n := h.mgr.TrackedXacts(); n != 0 {
+		t.Fatalf("tracked xacts after quiesce = %d, want 0", n)
+	}
+	real := h.mgr.LockCount()
+	if gauge := int(h.mgr.Stats().LocksCurrent); real != gauge {
+		t.Fatalf("lock table count %d disagrees with LocksCurrent gauge %d", real, gauge)
+	}
+	if real != 0 {
+		t.Fatalf("locks leaked after quiesce: %d", real)
 	}
 }
 

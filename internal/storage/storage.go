@@ -14,6 +14,19 @@
 // The heap assigns every tuple version a heap page number so the SSI lock
 // manager in internal/core can take SIREAD locks at tuple, page, and
 // relation granularity and promote between them.
+//
+// Each table additionally carries a sharded per-page read latch table
+// (latch.go), the stand-in for PostgreSQL's buffer content lock in the
+// SSI protocol: Table.Read runs its caller's callback — which inserts
+// the SIREAD lock — under the latch of the page holding the visible
+// version, and Table.Update / Table.Delete stamp xmax and run their
+// caller's write check under the latch of the superseded version's
+// page. That makes the MVCC visibility check atomic with SIREAD
+// registration relative to writers of the same page, closing the
+// detection window in which a writer's lock-table probe could run
+// between a reader's visibility check and its lock insertion and miss
+// the rw-antidependency entirely (§5.2 of the paper; the latch protocol
+// and lock ordering are documented in latch.go).
 package storage
 
 import (
@@ -90,6 +103,18 @@ type Config struct {
 	// CacheMissRatio is the probability in [0,1] that a page access
 	// pays IODelay. Zero means every access is a hit.
 	CacheMissRatio float64
+	// LatchPartitions is the number of shards in the per-page read
+	// latch table (latch.go). Rounded up to a power of two; defaults
+	// to 64. Collisions only add mutual exclusion, so this is purely a
+	// concurrency knob.
+	LatchPartitions int
+	// DisableReadLatch disables the per-page read latch, reopening the
+	// window between the MVCC visibility check and SIREAD-lock
+	// insertion. Test-only ablation: the interleaving harness uses it
+	// to demonstrate the missed-antidependency race the latch closes.
+	DisableReadLatch bool
+	// Hooks injects test-only interleaving hooks (see latch.go).
+	Hooks Hooks
 }
 
 // Table is a heap of versioned rows keyed by string, sharded for
@@ -99,6 +124,8 @@ type Table struct {
 	name   string
 	cfg    Config
 	shards [shardCount]shard
+	// latches is the per-page read latch table (latch.go).
+	latches *latchTable
 	// pageSeq allocates heap page slots; page = seq / TuplesPerPage.
 	pageSeq atomic.Int64
 	// stats
@@ -115,7 +142,7 @@ type shard struct {
 
 // NewTable creates an empty heap named name.
 func NewTable(name string, cfg Config) *Table {
-	t := &Table{name: name, cfg: cfg}
+	t := &Table{name: name, cfg: cfg, latches: newLatchTable(cfg.LatchPartitions)}
 	for i := range t.shards {
 		t.shards[i].rows = make(map[string]*Tuple)
 	}
@@ -163,13 +190,88 @@ func (t *Table) IOStats() (accesses, misses int64) {
 // Get returns the version of key visible to snap, along with the MVCC
 // conflict-out set described on ReadResult. self is the reading
 // transaction's xid (InvalidTxID for transactions that have not written).
+// Get never takes a page latch: it serves readers that register no
+// SIREAD lock (read committed, repeatable read, S2PL, safe snapshots),
+// for whom MVCC visibility alone is the contract. Serializable readers
+// must use Read with latched=true so their SIREAD registration happens
+// under the page latch.
 func (t *Table) Get(key string, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manager) ReadResult {
+	var out ReadResult
+	t.Read(key, snap, self, mgr, false, func(res ReadResult) error {
+		out = res
+		return nil
+	})
+	return out
+}
+
+// Read performs a visibility-checked read of key and invokes fn with the
+// result — if latched is true, while holding the read latch (shared
+// mode) of the page containing the visible version. No latch is held
+// when no version is visible: the phantom protection for absent keys is
+// the index gap lock, which the engine acquires under the index tree
+// lock *before* the heap read. fn is where a serializable caller
+// inserts its SIREAD lock: doing so under the latch makes the
+// visibility check and the lock insertion one atomic step relative to
+// Update/Delete, which stamp xmax and probe the SIREAD table under the
+// same latch, exclusively. Read returns fn's error.
+//
+// Callers that register nothing in fn (non-serializable reads) pass
+// latched=false and skip the latch entirely — they cannot lose an
+// rw-antidependency because they never carry one.
+//
+// fn must not call back into this table (the latch is not reentrant) and
+// must not block on other transactions; lock-manager work (mutex-only)
+// is fine per the ordering rules in latch.go.
+func (t *Table) Read(key string, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manager, latched bool, fn func(ReadResult) error) error {
 	t.simulateIO()
 	sh := t.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	head := pruneAborted(sh, key, mgr)
-	return readChain(head, snap, self, mgr)
+	var latch *sync.RWMutex
+	var res ReadResult
+	for {
+		head := pruneAborted(sh, key, mgr)
+		res = readChain(head, snap, self, mgr)
+		if res.Tuple == nil || !latched || t.cfg.DisableReadLatch {
+			if latch != nil {
+				latch.RUnlock()
+				latch = nil
+			}
+			break
+		}
+		// The latch (shared mode: readers only exclude writers) must
+		// be held before the shard mutex is released, or a writer
+		// could stamp the version between the visibility check and
+		// fn. Acquiring it while holding the shard mutex must not
+		// block (that would stall every key in the shard behind one
+		// contended page), so on contention the latch is awaited
+		// without the shard mutex and the read is recomputed: the
+		// chain may have changed while the shard was unlocked.
+		want := t.latches.latch(res.Tuple.Page)
+		if want == latch {
+			break
+		}
+		if latch != nil {
+			latch.RUnlock()
+			latch = nil
+		}
+		if want.TryRLock() {
+			latch = want
+			break
+		}
+		sh.mu.Unlock()
+		want.RLock()
+		latch = want
+		sh.mu.Lock()
+	}
+	sh.mu.Unlock()
+	if t.cfg.Hooks.OnRead != nil {
+		t.cfg.Hooks.OnRead(t.name, key)
+	}
+	err := fn(res)
+	if latch != nil {
+		latch.RUnlock()
+	}
+	return err
 }
 
 // readChain walks a version chain newest-first and applies PostgreSQL's
@@ -347,24 +449,48 @@ func (t *Table) Insert(key string, value []byte, xid mvcc.TxID, subID int32, sna
 // value. It implements snapshot isolation's write protocol: block on an
 // in-progress updater, then fail with ErrWriteConflict if a concurrent
 // transaction committed a change to the row.
-func (t *Table) Update(key string, value []byte, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph) (WriteResult, error) {
-	return t.modify(key, value, false, xid, subID, snap, mgr, wg)
+//
+// check, if non-nil, runs after the write is applied but before the
+// superseded version's page latch is released; serializable callers put
+// their SIREAD-table probe (core.CheckWrite) there so the xmax stamp and
+// the probe are one atomic step relative to readers of the page (see
+// latch.go). A check error is returned as Update's error; the stamp is
+// not undone — the caller is expected to abort the transaction, after
+// which pruneAborted reclaims the stamp, exactly as when the engine-level
+// conflict check failed after a successful write in the unlatched design.
+func (t *Table) Update(key string, value []byte, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph, check func(WriteResult) error) (WriteResult, error) {
+	return t.modify(key, value, false, xid, subID, snap, mgr, wg, check)
 }
 
 // Delete stamps the visible version of key as deleted by xid, with the
-// same blocking and first-updater-wins behaviour as Update.
-func (t *Table) Delete(key string, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph) (WriteResult, error) {
-	return t.modify(key, nil, true, xid, subID, snap, mgr, wg)
+// same blocking, first-updater-wins, and latched-check behaviour as
+// Update.
+func (t *Table) Delete(key string, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph, check func(WriteResult) error) (WriteResult, error) {
+	return t.modify(key, nil, true, xid, subID, snap, mgr, wg, check)
 }
 
-func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph) (WriteResult, error) {
+func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID int32, snap *mvcc.Snapshot, mgr *mvcc.Manager, wg *waitgraph.Graph, check func(WriteResult) error) (WriteResult, error) {
 	t.simulateIO()
 	sh := t.shardFor(key)
+	// held is the exclusive page latch carried across revalidation
+	// rounds. Keeping the latch once its blocking acquisition succeeds
+	// (instead of releasing and re-trying) is what guarantees writer
+	// progress on a read-hot page: a steady stream of shared holders
+	// could otherwise win every TryLock race forever. It must be
+	// released on every exit and before every wait.
+	var held *sync.RWMutex
+	release := func() {
+		if held != nil {
+			held.Unlock()
+			held = nil
+		}
+	}
 	for {
 		sh.mu.Lock()
 		head := pruneAborted(sh, key, mgr)
 		if head == nil {
 			sh.mu.Unlock()
+			release()
 			return WriteResult{}, ErrNotFound
 		}
 		// If the newest version belongs to an in-progress concurrent
@@ -373,6 +499,7 @@ func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID 
 			if st, _ := mgr.Status(head.Xmin); st == mvcc.StatusInProgress {
 				holder := head.Xmin
 				sh.mu.Unlock()
+				release()
 				if err := t.waitFor(xid, holder, mgr, wg); err != nil {
 					return WriteResult{}, err
 				}
@@ -387,15 +514,18 @@ func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID 
 			// simply absent.
 			if st, _ := mgr.Status(head.Xmin); head.Xmin != xid && st == mvcc.StatusCommitted && !snap.Sees(head.Xmin) {
 				sh.mu.Unlock()
+				release()
 				return WriteResult{}, ErrWriteConflict
 			}
 			if head.Xmax != 0 && head.Xmax != xid {
 				if xst, _ := mgr.Status(head.Xmax); xst == mvcc.StatusCommitted && !snap.Sees(head.Xmax) {
 					sh.mu.Unlock()
+					release()
 					return WriteResult{}, ErrWriteConflict
 				}
 			}
 			sh.mu.Unlock()
+			release()
 			return WriteResult{}, ErrNotFound
 		}
 		v := res.Tuple
@@ -405,6 +535,7 @@ func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID 
 			// committed (in-progress creators were handled above),
 			// so first-updater-wins rejects us.
 			sh.mu.Unlock()
+			release()
 			return WriteResult{}, ErrWriteConflict
 		}
 		if v.Xmax != 0 && v.Xmax != xid {
@@ -413,6 +544,7 @@ func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID 
 			case mvcc.StatusInProgress:
 				holder := v.Xmax
 				sh.mu.Unlock()
+				release()
 				if err := t.waitFor(xid, holder, mgr, wg); err != nil {
 					return WriteResult{}, err
 				}
@@ -421,14 +553,37 @@ func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID 
 				// Concurrent delete/update committed while we
 				// were deciding: conflict.
 				sh.mu.Unlock()
+				release()
 				return WriteResult{}, ErrWriteConflict
 			case mvcc.StatusAborted:
 				v.Xmax = 0
 				v.SubMax = 0
 			}
 		}
-		// We hold the tuple: stamp xmax, and for updates prepend the
-		// new version.
+		// We hold the tuple: latch the superseded version's page
+		// exclusively (readers share it), then stamp xmax and (for
+		// updates) prepend the new version. The latch is taken while
+		// still holding the shard mutex (the fixed shard → latch order
+		// of latch.go), so the decision made above cannot be
+		// invalidated before the stamp, and it is held across the
+		// caller's check so no reader of this page can interleave its
+		// visibility check between the stamp and the SIREAD probe.
+		// Blocking on a contended latch while holding the shard mutex
+		// would stall the whole shard: the latch is awaited unlocked
+		// and kept (held) while the write decision is redone.
+		if !t.cfg.DisableReadLatch {
+			latch := t.latches.latch(v.Page)
+			if latch != held {
+				release()
+				if !latch.TryLock() {
+					sh.mu.Unlock()
+					latch.Lock()
+					held = latch
+					continue
+				}
+				held = latch
+			}
+		}
 		v.Xmax = xid
 		v.SubMax = subID
 		wr := WriteResult{OldPage: v.Page, NewPage: -1}
@@ -438,7 +593,12 @@ func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID 
 			wr.NewPage = nv.Page
 		}
 		sh.mu.Unlock()
-		return wr, nil
+		var err error
+		if check != nil {
+			err = check(wr)
+		}
+		release()
+		return wr, err
 	}
 }
 

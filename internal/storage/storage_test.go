@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"pgssi/internal/mvcc"
 	"pgssi/internal/waitgraph"
@@ -37,7 +38,7 @@ func (h *harness) insert(tx *txn, key, val string) error {
 }
 
 func (h *harness) update(tx *txn, key, val string) error {
-	_, err := h.tbl.Update(key, []byte(val), tx.xid, 0, tx.snap, h.mgr, h.wg)
+	_, err := h.tbl.Update(key, []byte(val), tx.xid, 0, tx.snap, h.mgr, h.wg, nil)
 	return err
 }
 
@@ -219,7 +220,7 @@ func TestDeleteAndReinsert(t *testing.T) {
 	h.mgr.Commit(seed.xid)
 
 	d := h.begin()
-	if _, err := h.tbl.Delete("a", d.xid, 0, d.snap, h.mgr, h.wg); err != nil {
+	if _, err := h.tbl.Delete("a", d.xid, 0, d.snap, h.mgr, h.wg, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := h.get(d, "a"); ok {
@@ -272,7 +273,7 @@ func TestSubxactUndoRestoresPreviousState(t *testing.T) {
 	h.mgr.Commit(seed.xid)
 
 	tx := h.begin()
-	if _, err := h.tbl.Update("a", []byte("sub"), tx.xid, 1, tx.snap, h.mgr, h.wg); err != nil {
+	if _, err := h.tbl.Update("a", []byte("sub"), tx.xid, 1, tx.snap, h.mgr, h.wg, nil); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := h.get(tx, "a"); v != "sub" {
@@ -345,5 +346,200 @@ func TestPageAssignmentAdvances(t *testing.T) {
 	}
 	if len(pages) < 3 {
 		t.Fatalf("expected at least 3 heap pages, got %d", len(pages))
+	}
+}
+
+// --- per-page read latch (latch.go) ---
+
+// TestReadLatchExcludesWriter proves the mutual exclusion the latch
+// exists for: while a reader's callback is running, a writer of the same
+// page cannot stamp the version — its Update completes only after the
+// callback returns.
+func TestReadLatchExcludesWriter(t *testing.T) {
+	h := newHarness(t)
+	w := h.begin()
+	if err := h.insert(w, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Commit(w.xid)
+
+	r := h.begin()
+	inCallback := make(chan struct{})
+	releaseReader := make(chan struct{})
+	readerDone := make(chan struct{})
+	writerDone := make(chan struct{})
+
+	go func() {
+		defer close(readerDone)
+		h.tbl.Read("a", r.snap, r.xid, h.mgr, true, func(res ReadResult) error {
+			if res.Tuple == nil {
+				t.Error("reader saw no tuple")
+				return nil
+			}
+			close(inCallback)
+			<-releaseReader
+			return nil
+		})
+	}()
+
+	<-inCallback
+	u := h.begin()
+	go func() {
+		defer close(writerDone)
+		if err := h.update(u, "a", "2"); err != nil {
+			t.Errorf("update: %v", err)
+		}
+	}()
+
+	// The writer must not complete while the reader holds the latch.
+	// (Safe direction: a tardy scheduler can only make the timeout arm
+	// win, never the failure arm.)
+	select {
+	case <-writerDone:
+		t.Fatal("writer completed while reader's callback held the page latch")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(releaseReader)
+	<-readerDone
+	<-writerDone
+}
+
+// TestReadLatchDisabledAdmitsWriter is the ablation: with
+// DisableReadLatch a writer runs to completion inside the reader's
+// callback window — the exact schedule of the missed-antidependency
+// race the engine-level interleaving tests reproduce end to end.
+func TestReadLatchDisabledAdmitsWriter(t *testing.T) {
+	h := &harness{t: t, mgr: mvcc.NewManager(), tbl: NewTable("t", Config{DisableReadLatch: true}), wg: waitgraph.New()}
+	w := h.begin()
+	if err := h.insert(w, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Commit(w.xid)
+
+	r := h.begin()
+	err := h.tbl.Read("a", r.snap, r.xid, h.mgr, true, func(res ReadResult) error {
+		// Single-threaded: the writer completes inside the window.
+		u := h.begin()
+		return h.update(u, "a", "2")
+	})
+	if err != nil {
+		t.Fatalf("unlatched writer should slip into the window, got %v", err)
+	}
+}
+
+// TestWriteCheckRunsUnderLatch verifies the write side: the check
+// callback observes the already-stamped version, runs before Update
+// returns, and excludes readers of the page until it finishes.
+func TestWriteCheckRunsUnderLatch(t *testing.T) {
+	h := newHarness(t)
+	w := h.begin()
+	if err := h.insert(w, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Commit(w.xid)
+
+	u := h.begin()
+	inCheck := make(chan struct{})
+	releaseWriter := make(chan struct{})
+	writerDone := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		_, err := h.tbl.Update("a", []byte("2"), u.xid, 0, u.snap, h.mgr, h.wg, func(wr WriteResult) error {
+			close(inCheck)
+			<-releaseWriter
+			return nil
+		})
+		if err != nil {
+			t.Errorf("update: %v", err)
+		}
+	}()
+
+	<-inCheck
+	r := h.begin()
+	go func() {
+		defer close(readerDone)
+		h.tbl.Read("a", r.snap, r.xid, h.mgr, true, func(ReadResult) error { return nil })
+	}()
+	select {
+	case <-readerDone:
+		t.Fatal("reader completed while the writer's check held the page latch")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(releaseWriter)
+	<-writerDone
+	<-readerDone
+	// The reader, having waited out the latch, sees the writer's
+	// in-progress stamp and invisible new version: every conflict-out
+	// entry names the writer.
+	res := h.tbl.Get("a", r.snap, r.xid, h.mgr)
+	if res.Tuple == nil || len(res.ConflictOut) == 0 {
+		t.Fatalf("post-latch read should report the writer as conflict out, got %+v", res)
+	}
+	for _, xid := range res.ConflictOut {
+		if xid != u.xid {
+			t.Fatalf("conflict out names %d, want writer %d", xid, u.xid)
+		}
+	}
+}
+
+// TestWriteCheckErrorPropagates verifies a failing check surfaces as the
+// write's error while leaving the stamp for the caller's abort path.
+func TestWriteCheckErrorPropagates(t *testing.T) {
+	h := newHarness(t)
+	w := h.begin()
+	if err := h.insert(w, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Commit(w.xid)
+
+	u := h.begin()
+	boom := errors.New("boom")
+	if _, err := h.tbl.Update("a", []byte("2"), u.xid, 0, u.snap, h.mgr, h.wg, func(WriteResult) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("check error not propagated: %v", err)
+	}
+	// Aborting the writer reclaims the stamp.
+	h.mgr.Abort(u.xid)
+	r := h.begin()
+	if v, ok := h.get(r, "a"); !ok || v != "1" {
+		t.Fatalf("row not restored after aborted checked write: %q %v", v, ok)
+	}
+}
+
+// TestOnReadHookFires verifies hook placement: between the visibility
+// check and the callback.
+func TestOnReadHookFires(t *testing.T) {
+	var events []string
+	cfg := Config{Hooks: Hooks{OnRead: func(table, key string) {
+		events = append(events, "hook:"+table+"/"+key)
+	}}}
+	h := &harness{t: t, mgr: mvcc.NewManager(), tbl: NewTable("t", cfg), wg: waitgraph.New()}
+	w := h.begin()
+	if err := h.insert(w, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Commit(w.xid)
+	r := h.begin()
+	h.tbl.Read("a", r.snap, r.xid, h.mgr, true, func(ReadResult) error {
+		events = append(events, "callback")
+		return nil
+	})
+	if len(events) != 2 || events[0] != "hook:t/a" || events[1] != "callback" {
+		t.Fatalf("unexpected event order: %v", events)
+	}
+}
+
+// TestLatchTableRounding checks the power-of-two sizing and that
+// distinct pages map within bounds.
+func TestLatchTableRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, defaultLatchPartitions}, {1, 1}, {3, 4}, {64, 64}, {65, 128}} {
+		lt := newLatchTable(tc.in)
+		if len(lt.latches) != tc.want {
+			t.Fatalf("newLatchTable(%d) = %d shards, want %d", tc.in, len(lt.latches), tc.want)
+		}
+		for p := int64(0); p < 1000; p++ {
+			lt.latch(p).Lock()
+			lt.latch(p).Unlock()
+		}
 	}
 }

@@ -3,6 +3,7 @@ package pgssi
 import (
 	"pgssi/internal/btree"
 	"pgssi/internal/core"
+	"pgssi/internal/mvcc"
 	"pgssi/internal/s2pl"
 	"pgssi/internal/storage"
 )
@@ -14,6 +15,19 @@ type storageTuple = storage.Tuple
 // concurrency-control paths: the MVCC path (ReadCommitted /
 // RepeatableRead / Serializable, where Serializable adds the SSI hooks of
 // §5.2) and the strict two-phase locking path (§8's baseline).
+//
+// Serializable reads and writes run their SSI lock-manager steps inside
+// the storage layer's per-page read latch (storage/latch.go): reads
+// insert their SIREAD lock in the storage.Table.Read callback, writes
+// probe the SIREAD table in the Update/Delete check callback. Holding
+// the latch across {visibility check, SIREAD insertion} on the read
+// side and {xmax stamp, lock-table probe} on the write side guarantees
+// every rw-antidependency on a heap tuple is seen by at least one side,
+// the way PostgreSQL's buffer page lock does. MVCC conflict-out
+// *flagging* may safely happen after the latch is released (scans batch
+// it): once the writer is visible in the version chain the conflict can
+// always be recovered from MVCC data (§5.2), and the writer stays
+// tracked while any concurrent reader is active.
 
 // Get returns the value of key in table visible to the transaction, or
 // ErrNotFound. Under Serializable it acquires a SIREAD lock on the tuple
@@ -35,27 +49,44 @@ func (tx *Tx) Get(table, key string) ([]byte, error) {
 	// traversal (see btree.Lookup): PostgreSQL likewise predicate-locks
 	// every leaf page an index scan reads, which is what covers the
 	// gap when the key is absent.
+	tracking := tx.x != nil && !tx.x.Safe()
 	var onPage func(btree.PageID)
-	if tx.x != nil && !tx.x.Safe() {
+	if tracking {
 		onPage = func(p btree.PageID) {
 			tx.db.ssi.AcquirePageLock(tx.x, ti.pkName, int64(p))
 		}
 	}
 	ti.pk.Lookup(key, onPage)
-	res := ti.heap.Get(key, snap, tx.xid, tx.db.mvcc)
-	if tx.x != nil {
-		if res.Tuple != nil {
-			if err := tx.db.ssi.CheckRead(tx.x, table, res.Tuple.Page, key, res.ConflictOut, tx.owns(table, key)); err != nil {
-				return nil, mapStorageErr(err)
+	var value []byte
+	found := false
+	// The SSI read check runs in the Read callback, i.e. under the read
+	// latch of the page holding the visible version: the SIREAD lock is
+	// registered before any writer of that page can stamp the tuple and
+	// probe the lock table. Non-tracking reads skip the latch — they
+	// register nothing, so they have nothing to lose to the window.
+	err = ti.heap.Read(key, snap, tx.xid, tx.db.mvcc, tracking, func(res storage.ReadResult) error {
+		if tx.x != nil {
+			if res.Tuple != nil {
+				if err := tx.db.ssi.CheckRead(tx.x, table, res.Tuple.Page, key, res.ConflictOut, tx.owns(table, key)); err != nil {
+					return err
+				}
+			} else if err := tx.db.ssi.CheckScanConflicts(tx.x, res.ConflictOut); err != nil {
+				return err
 			}
-		} else if err := tx.db.ssi.CheckScanConflicts(tx.x, res.ConflictOut); err != nil {
-			return nil, mapStorageErr(err)
 		}
+		if res.Tuple != nil {
+			found = true
+			value = res.Tuple.Value
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, mapStorageErr(err)
 	}
-	if res.Tuple == nil {
+	if !found {
 		return nil, ErrNotFound
 	}
-	return res.Tuple.Value, nil
+	return value, nil
 }
 
 // Insert adds a new row. Fails with ErrDuplicateKey if a visible (or
@@ -145,38 +176,50 @@ func (tx *Tx) Update(table, key string, value []byte) error {
 		return tx.s2plUpdate(ti, key, value, false)
 	}
 	snap := tx.snapshot()
-	wr, serr := ti.heap.Update(key, value, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg)
+	check := tx.writeCheck(table, key)
+	_, serr := ti.heap.Update(key, value, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg, check)
 	if serr != nil {
 		if tx.level == ReadCommitted {
 			// READ COMMITTED follows the update chain with a fresh
 			// snapshot rather than failing (EvalPlanQual).
 			return tx.readCommittedRetry(func() error {
-				var e error
-				wr, e = ti.heap.Update(key, value, tx.xid, tx.currentSubID(), tx.db.mvcc.TakeSnapshot(), tx.db.mvcc, tx.db.wg)
-				if e != nil {
+				if _, e := ti.heap.Update(key, value, tx.xid, tx.currentSubID(), tx.db.mvcc.TakeSnapshot(), tx.db.mvcc, tx.db.wg, check); e != nil {
 					return e
 				}
-				return tx.finishUpdate(ti, table, key, value, wr.OldPage)
+				return tx.finishUpdate(ti, table, key, value)
 			}, serr)
 		}
 		return mapStorageErr(serr)
 	}
-	return tx.finishUpdate(ti, table, key, value, wr.OldPage)
+	return tx.finishUpdate(ti, table, key, value)
 }
 
-func (tx *Tx) finishUpdate(ti *tableInfo, table, key string, value []byte, oldPage int64) error {
-	if tx.x != nil {
-		if err := tx.db.ssi.CheckWrite(tx.x, table, oldPage, key); err != nil {
-			return mapStorageErr(err)
+// writeCheck returns the SSI write check a serializable transaction runs
+// inside the heap write path, under the superseded version's page latch
+// (storage/latch.go): the finest-to-coarsest SIREAD probe, followed by
+// the §7.3 drop of the transaction's own tuple SIREAD lock, which is
+// safe because the tuple write lock (the just-stamped xmax) now protects
+// the read. Returns nil for non-serializable transactions.
+func (tx *Tx) writeCheck(table, key string) func(storage.WriteResult) error {
+	if tx.x == nil {
+		return nil
+	}
+	return func(wr storage.WriteResult) error {
+		if err := tx.db.ssi.CheckWrite(tx.x, table, wr.OldPage, key); err != nil {
+			return err
 		}
 		if !tx.inSubxact() {
 			// §7.3: safe to drop our SIREAD lock once we hold the
 			// tuple write lock — except inside a subtransaction,
 			// where a savepoint rollback could release the write
 			// lock and leave the read unprotected.
-			tx.db.ssi.DropOwnTupleLock(tx.x, table, oldPage, key)
+			tx.db.ssi.DropOwnTupleLock(tx.x, table, wr.OldPage, key)
 		}
+		return nil
 	}
+}
+
+func (tx *Tx) finishUpdate(ti *tableInfo, table, key string, value []byte) error {
 	if err := tx.insertSecondaries(ti, key, value); err != nil {
 		return err
 	}
@@ -212,17 +255,8 @@ func (tx *Tx) Delete(table, key string) error {
 		return tx.s2plUpdate(ti, key, nil, true)
 	}
 	snap := tx.snapshot()
-	wr, serr := ti.heap.Delete(key, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg)
-	if serr != nil {
+	if _, serr := ti.heap.Delete(key, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg, tx.writeCheck(table, key)); serr != nil {
 		return mapStorageErr(serr)
-	}
-	if tx.x != nil {
-		if err := tx.db.ssi.CheckWrite(tx.x, table, wr.OldPage, key); err != nil {
-			return mapStorageErr(err)
-		}
-		if !tx.inSubxact() {
-			tx.db.ssi.DropOwnTupleLock(tx.x, table, wr.OldPage, key)
-		}
 	}
 	tx.recordWrite(table, key, nil, true)
 	return nil
@@ -258,32 +292,40 @@ func (tx *Tx) Scan(table, lo, hi string, fn func(key string, value []byte) bool)
 		keys = append(keys, k)
 		return true
 	})
-	// Read all rows first, then run the SSI checks for the whole scan
-	// in one batch (one lock-manager critical section per scan rather
-	// than per tuple), then deliver.
+	// Each row's SIREAD lock is inserted in the Read callback, under
+	// that row's page latch; the MVCC conflict-out sets are flagged in
+	// one batch afterwards (one SSI-mutex critical section per scan,
+	// and only when a conflict exists — deferring the flagging out of
+	// the latch is safe, see the file comment). Rows are delivered
+	// after all checks so fn never runs under a latch.
 	type row struct {
 		key   string
 		value []byte
 	}
 	var rows []row
-	var items []core.ReadItem
+	var conflicts []mvcc.TxID
 	for _, k := range keys {
-		res := ti.heap.Get(k, snap, tx.xid, tx.db.mvcc)
-		if tx.x != nil && (res.Tuple != nil || len(res.ConflictOut) > 0) {
-			it := core.ReadItem{ConflictOut: res.ConflictOut}
-			if res.Tuple != nil {
-				it.Page = res.Tuple.Page
-				it.Key = k
-				it.OwnWrite = tx.owns(table, k)
+		err := ti.heap.Read(k, snap, tx.xid, tx.db.mvcc, tracking, func(res storage.ReadResult) error {
+			if tx.x != nil {
+				conflicts = append(conflicts, res.ConflictOut...)
 			}
-			items = append(items, it)
-		}
-		if res.Tuple != nil {
+			if res.Tuple == nil {
+				return nil
+			}
+			if tx.x != nil {
+				if err := tx.db.ssi.CheckRead(tx.x, table, res.Tuple.Page, k, nil, tx.owns(table, k)); err != nil {
+					return err
+				}
+			}
 			rows = append(rows, row{k, res.Tuple.Value})
+			return nil
+		})
+		if err != nil {
+			return mapStorageErr(err)
 		}
 	}
 	if tx.x != nil {
-		if err := tx.db.ssi.CheckReadBatch(tx.x, table, items); err != nil {
+		if err := tx.db.ssi.CheckScanConflicts(tx.x, conflicts); err != nil {
 			return mapStorageErr(err)
 		}
 	}
@@ -346,30 +388,38 @@ func (tx *Tx) ScanIndex(table, idx, lo, hi string, fn func(key string, value []b
 		value []byte
 	}
 	var rows []row
-	var items []core.ReadItem
+	var conflicts []mvcc.TxID
 	for _, h := range hits {
-		res := ti.heap.Get(h.pk, snap, tx.xid, tx.db.mvcc)
-		if tx.x != nil && (res.Tuple != nil || len(res.ConflictOut) > 0) {
-			it := core.ReadItem{ConflictOut: res.ConflictOut}
-			if res.Tuple != nil {
-				it.Page = res.Tuple.Page
-				it.Key = h.pk
-				it.OwnWrite = tx.owns(table, h.pk)
+		err := ti.heap.Read(h.pk, snap, tx.xid, tx.db.mvcc, tracking, func(res storage.ReadResult) error {
+			if tx.x != nil {
+				conflicts = append(conflicts, res.ConflictOut...)
 			}
-			items = append(items, it)
+			if res.Tuple == nil {
+				return nil
+			}
+			// The SIREAD lock is taken under the page latch even for
+			// rows the recheck below filters out: the read happened,
+			// so the version must stay protected (as in Scan).
+			if tx.x != nil {
+				if err := tx.db.ssi.CheckRead(tx.x, table, res.Tuple.Page, h.pk, nil, tx.owns(table, h.pk)); err != nil {
+					return err
+				}
+			}
+			// Recheck: the visible version must still match the
+			// index key.
+			ik, ok := si.fn(h.pk, res.Tuple.Value)
+			if !ok || ik != h.ik {
+				return nil
+			}
+			rows = append(rows, row{h.pk, res.Tuple.Value})
+			return nil
+		})
+		if err != nil {
+			return mapStorageErr(err)
 		}
-		if res.Tuple == nil {
-			continue
-		}
-		// Recheck: the visible version must still match the index key.
-		ik, ok := si.fn(h.pk, res.Tuple.Value)
-		if !ok || ik != h.ik {
-			continue
-		}
-		rows = append(rows, row{h.pk, res.Tuple.Value})
 	}
 	if tx.x != nil {
-		if err := tx.db.ssi.CheckReadBatch(tx.x, table, items); err != nil {
+		if err := tx.db.ssi.CheckScanConflicts(tx.x, conflicts); err != nil {
 			return mapStorageErr(err)
 		}
 	}

@@ -105,9 +105,9 @@ func (tx *Tx) s2plUpdate(ti *tableInfo, key string, value []byte, del bool) erro
 	snap := tx.db.mvcc.TakeSnapshot()
 	var err error
 	if del {
-		_, err = ti.heap.Delete(key, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg)
+		_, err = ti.heap.Delete(key, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg, nil)
 	} else {
-		_, err = ti.heap.Update(key, value, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg)
+		_, err = ti.heap.Update(key, value, tx.xid, tx.currentSubID(), snap, tx.db.mvcc, tx.db.wg, nil)
 	}
 	if err != nil {
 		return mapStorageErr(err)
