@@ -317,3 +317,50 @@ func BenchmarkPartitionSweep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLifecycleParallel measures transaction-lifecycle contention:
+// parallel workers run begin/commit-only serializable transactions (no
+// reads, no writes), so every contended nanosecond is Begin/Commit —
+// the residual bottleneck §8's analysis predicts once lock acquisition
+// is partitioned. The nightly workflow archives this benchmark with a
+// mutex profile next to the lock-contention ones, so lifecycle
+// contention is tracked release over release like lock contention is.
+func BenchmarkLifecycleParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts pgssi.TxOptions
+	}{
+		{"rw", pgssi.TxOptions{Isolation: pgssi.Serializable}},
+		{"declared-ro", pgssi.TxOptions{Isolation: pgssi.Serializable, ReadOnly: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := pgssi.Open(pgssi.Config{})
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					tx, err := db.Begin(mode.opts)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+	// Closed-loop variant through the workload harness, with a
+	// read-only slice in the mix so fenced and unfenced begins contend
+	// with each other the way a real mixed workload makes them.
+	b.Run("mix-ro=10%", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := pgssi.Open(pgssi.Config{})
+			res := workload.RunClosedLoop(db, workload.LifecycleMix(0.1), workload.RunOptions{
+				Level: pgssi.Serializable, Workers: 4, Duration: benchDuration(), Seed: 13,
+			})
+			reportResult(b, res)
+		}
+	})
+}

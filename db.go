@@ -116,6 +116,28 @@ type Config struct {
 	// (the "SSI no r/o opt" series in Figures 4 and 5).
 	DisableReadOnlyOpt bool
 
+	// DisableLifecycleFencing reopens the transaction-lifecycle windows
+	// that the fine-grained Begin/Commit locking keeps closed: Begin's
+	// snapshot-ordering step, the read-only safety registration, and
+	// the pre-commit check's atomicity with the commit-sequence
+	// assignment. Test-only ablation: with it set, a commit racing a
+	// lifecycle window can be missed by the safe-snapshot bookkeeping
+	// or the dangerous-structure check, and the epoch reclaimer can
+	// prematurely drop committed SIREAD locks. Never set it in
+	// production.
+	DisableLifecycleFencing bool
+	// OnBegin, if non-nil, is invoked during every Serializable
+	// transaction Begin's snapshot-ordering step with the new
+	// transaction's id (other isolation levels never enter the SSI
+	// lifecycle). Test-only interleaving hook used by the deterministic
+	// lifecycle harness.
+	OnBegin func(xid uint64)
+	// OnPreCommit, if non-nil, is invoked between a Serializable
+	// transaction's passing pre-commit check and its commit-sequence
+	// assignment, inside the commit critical section (outside it under
+	// DisableLifecycleFencing). Test-only interleaving hook.
+	OnPreCommit func(xid uint64)
+
 	// LatchPartitions is the number of shards in each table's per-page
 	// read latch table (the engine's analogue of PostgreSQL's buffer
 	// content lock for SSI; see internal/storage/latch.go). Rounded up
@@ -145,7 +167,7 @@ func (c Config) storageConfig() storage.Config {
 }
 
 func (c Config) ssiConfig() core.Config {
-	return core.Config{
+	cfg := core.Config{
 		MaxPredicateLocks:        c.MaxPredicateLocks,
 		MaxCommittedXacts:        c.MaxCommittedXacts,
 		PromoteTupleToPage:       c.PromoteTupleToPage,
@@ -153,7 +175,15 @@ func (c Config) ssiConfig() core.Config {
 		Partitions:               c.Partitions,
 		DisableCommitOrderingOpt: c.DisableCommitOrderingOpt,
 		DisableReadOnlyOpt:       c.DisableReadOnlyOpt,
+		DisableLifecycleFencing:  c.DisableLifecycleFencing,
 	}
+	if h := c.OnBegin; h != nil {
+		cfg.OnBegin = func(xid mvcc.TxID) { h(uint64(xid)) }
+	}
+	if h := c.OnPreCommit; h != nil {
+		cfg.OnPreCommit = func(xid mvcc.TxID) { h(uint64(xid)) }
+	}
+	return cfg
 }
 
 // IndexKeyFunc derives a secondary-index key from a row; ok=false skips

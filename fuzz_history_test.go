@@ -30,6 +30,24 @@ import (
 // writers, all rw-antidependency shapes, and doomed-transaction aborts
 // occur naturally and frequently.
 //
+// The generated mix also covers the lifecycle paths the plain
+// read/write shape never reaches:
+//
+//   - declared READ ONLY transactions (writes degrade to reads), whose
+//     safety watches resolve mid-schedule as concurrent read/write
+//     transactions finish — exercising markSafeLocked, the mid-run
+//     SIREAD drop, and the safe-snapshot read path under concurrency;
+//   - two-phase transactions that Prepare at the end of their program
+//     and only CommitPrepared (or occasionally RollbackPrepared) at a
+//     later schedule step, so other transactions' conflict checks run
+//     against the prepared state in between;
+//   - on some seeds, one SERIALIZABLE READ ONLY DEFERRABLE transaction
+//     running on a background goroutine (its Begin blocks for a safe
+//     snapshot, so it cannot be stepped by the deterministic
+//     scheduler). Its interleaving is timing-dependent, but its reads
+//     record exactly the versions observed, so the oracle validation
+//     is unaffected.
+//
 // Values encode their writer so reads can name the version they saw:
 // transaction h writes strconv(h), the seed data is "0" (graphcheck's
 // initial version). Deletes are modelled as delete+reinsert inside the
@@ -90,6 +108,9 @@ type ftxn struct {
 	next      int
 	ops       []graphcheck.Op
 	wrote     map[string]bool
+	readOnly  bool
+	twoPC     bool
+	prepared  bool
 	aborted   bool
 	committed bool
 }
@@ -121,11 +142,58 @@ func runFuzzHistory(t *testing.T, seed uint64, level pgssi.IsolationLevel) []uin
 		for j := range prog {
 			prog[j] = fop{kind: rng.IntN(4), key: fuzzKeys[rng.IntN(len(fuzzKeys))]}
 		}
-		tx, err := db.Begin(pgssi.TxOptions{Isolation: level})
+		f := &ftxn{id: uint64(i + 1), prog: prog, wrote: make(map[string]bool)}
+		// Lifecycle mix: ~20% declared read-only, ~17% two-phase
+		// (Serializable only — 2PC under SSI is what moves the
+		// pre-commit check to Prepare).
+		switch roll := rng.IntN(12); {
+		case roll < 2:
+			f.readOnly = true
+		case roll < 4 && level == pgssi.Serializable:
+			f.twoPC = true
+		}
+		tx, err := db.Begin(pgssi.TxOptions{Isolation: level, ReadOnly: f.readOnly})
 		if err != nil {
 			t.Fatal(err)
 		}
-		txns[i] = &ftxn{tx: tx, id: uint64(i + 1), prog: prog, wrote: make(map[string]bool)}
+		f.tx = tx
+		txns[i] = f
+	}
+
+	// On some seeds, one deferrable read-only transaction runs on a
+	// background goroutine: its Begin blocks until a safe snapshot is
+	// available, which resolves as the scheduled transactions finish.
+	var deferrable *ftxn
+	var deferrableDone chan struct{}
+	if level == pgssi.Serializable && rng.IntN(3) == 0 {
+		deferrable = &ftxn{id: uint64(ntxns + 1), wrote: make(map[string]bool)}
+		deferrableDone = make(chan struct{})
+		go func() {
+			defer close(deferrableDone)
+			tx, err := db.Begin(pgssi.TxOptions{
+				Isolation: pgssi.Serializable, ReadOnly: true, Deferrable: true,
+			})
+			if err != nil {
+				t.Errorf("seed %d: deferrable begin: %v", seed, err)
+				return
+			}
+			if !tx.OnSafeSnapshot() {
+				t.Errorf("seed %d: deferrable transaction not on a safe snapshot", seed)
+			}
+			for _, k := range fuzzKeys {
+				v, err := tx.Get("t", k)
+				if err != nil {
+					t.Errorf("seed %d: deferrable get %q: %v", seed, k, err)
+					return
+				}
+				deferrable.ops = append(deferrable.ops, graphcheck.Op{Key: k, Saw: parseFuzzVersion(t, v)})
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("seed %d: deferrable commit: %v", seed, err)
+				return
+			}
+			deferrable.committed = true
+		}()
 	}
 
 	// activeWriter names the in-flight transaction holding each key's
@@ -139,8 +207,9 @@ func runFuzzHistory(t *testing.T, seed uint64, level pgssi.IsolationLevel) []uin
 			continue
 		}
 		if f.next == len(f.prog) {
-			fuzzFinish(t, f, activeWriter)
-			remaining--
+			if fuzzFinish(t, db, f, rng, activeWriter) {
+				remaining--
+			}
 			continue
 		}
 		op := f.prog[f.next]
@@ -150,12 +219,18 @@ func runFuzzHistory(t *testing.T, seed uint64, level pgssi.IsolationLevel) []uin
 			remaining--
 		}
 	}
+	if deferrable != nil {
+		<-deferrableDone
+	}
 
 	var committed []graphcheck.Txn
 	for _, f := range txns {
 		if f.committed {
 			committed = append(committed, graphcheck.Txn{ID: f.id, Ops: f.ops})
 		}
+	}
+	if deferrable != nil && deferrable.committed {
+		committed = append(committed, graphcheck.Txn{ID: deferrable.id, Ops: deferrable.ops})
 	}
 	g, err := graphcheck.Build(committed)
 	if err != nil {
@@ -177,17 +252,55 @@ func fuzzAbort(f *ftxn, activeWriter map[string]*ftxn, rolledBack bool) {
 	}
 }
 
-// fuzzFinish commits the transaction (a serialization failure at commit
-// aborts it instead).
-func fuzzFinish(t *testing.T, f *ftxn, activeWriter map[string]*ftxn) {
+// fuzzFinish advances a transaction that exhausted its program toward
+// its end state and reports whether it finished for good. Plain
+// transactions commit (a serialization failure aborts them instead).
+// Two-phase transactions Prepare on their first finish step and stay
+// schedulable: the scheduler returns to them later for CommitPrepared —
+// which, after a successful Prepare, must never fail — or an occasional
+// RollbackPrepared. Between the two steps other transactions run their
+// conflict checks against the prepared state.
+func fuzzFinish(t *testing.T, db *pgssi.DB, f *ftxn, rng *rand.Rand, activeWriter map[string]*ftxn) bool {
 	t.Helper()
+	gid := fmt.Sprintf("fuzz-%d", f.id)
+	if f.twoPC && !f.prepared {
+		if err := f.tx.Prepare(gid); err != nil {
+			if !pgssi.IsSerializationFailure(err) {
+				t.Fatalf("prepare: %v", err)
+			}
+			// Prepare rolled the transaction back itself.
+			fuzzAbort(f, activeWriter, true)
+			return true
+		}
+		f.prepared = true
+		return false
+	}
+	if f.prepared {
+		if rng.IntN(8) == 0 {
+			if err := db.RollbackPrepared(gid); err != nil {
+				t.Fatalf("rollback prepared: %v", err)
+			}
+			fuzzAbort(f, activeWriter, true)
+			return true
+		}
+		if err := db.CommitPrepared(gid); err != nil {
+			t.Fatalf("commit prepared: %v", err)
+		}
+		f.committed = true
+		for k, w := range activeWriter {
+			if w == f {
+				delete(activeWriter, k)
+			}
+		}
+		return true
+	}
 	if err := f.tx.Commit(); err != nil {
 		if !pgssi.IsSerializationFailure(err) {
 			t.Fatalf("commit: %v", err)
 		}
 		// Commit rolled the transaction back itself.
 		fuzzAbort(f, activeWriter, true)
-		return
+		return true
 	}
 	f.committed = true
 	for k, w := range activeWriter {
@@ -195,6 +308,7 @@ func fuzzFinish(t *testing.T, f *ftxn, activeWriter map[string]*ftxn) {
 			delete(activeWriter, k)
 		}
 	}
+	return true
 }
 
 // fuzzGet reads key, records the version observed, and returns false if
@@ -227,10 +341,11 @@ func parseFuzzVersion(t *testing.T, v []byte) graphcheck.Version {
 func fuzzStep(t *testing.T, seed uint64, f *ftxn, op fop, activeWriter map[string]*ftxn) {
 	t.Helper()
 	val := []byte(fmt.Sprint(f.id))
-	// Degrade a write that would either block on another in-flight
-	// writer or be this transaction's second write to the key (which
-	// graphcheck's read-modify-write model cannot express) to a read.
-	if op.kind >= 2 && (f.wrote[op.key] || (activeWriter[op.key] != nil && activeWriter[op.key] != f)) {
+	// Degrade a write to a read when the transaction is declared READ
+	// ONLY, when it would block on another in-flight writer, or when it
+	// would be this transaction's second write to the key (which
+	// graphcheck's read-modify-write model cannot express).
+	if op.kind >= 2 && (f.readOnly || f.wrote[op.key] || (activeWriter[op.key] != nil && activeWriter[op.key] != f)) {
 		op.kind = 0
 	}
 	switch op.kind {

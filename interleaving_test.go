@@ -391,3 +391,275 @@ func TestDetectionWindowGapInsert(t *testing.T) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Lifecycle interleaving harness (PR 3).
+//
+// The lifecycle refactor decomposed the global SSI mutex: Begin registers
+// through a sharded registry with a snapshot-ordering step, conflict-free
+// commits run under only their own edge lock, and cleanup moved to an
+// epoch reclaimer. Each narrowed critical section is falsifiable the same
+// way the PR 2 read latch is: Config.OnBegin and Config.OnPreCommit park
+// a transaction inside the window, and Config.DisableLifecycleFencing
+// reopens it. With fencing enabled the tests prove the racing transaction
+// provably blocks and the anomaly cannot be scheduled; with it disabled
+// the same schedule admits a concrete serializability violation.
+
+// lifecyclePauser arms a one-shot pause in a lifecycle hook, either for
+// a specific xid or (xid == 0) for the next invocation.
+type lifecyclePauser struct {
+	xid      atomic.Uint64
+	armed    atomic.Bool
+	inWindow chan struct{}
+	release  chan struct{}
+}
+
+func newLifecyclePauser() *lifecyclePauser {
+	return &lifecyclePauser{
+		inWindow: make(chan struct{}),
+		release:  make(chan struct{}),
+	}
+}
+
+// arm makes the next hook invocation for xid pause (xid 0 = any).
+func (p *lifecyclePauser) arm(xid uint64) {
+	p.xid.Store(xid)
+	p.armed.Store(true)
+}
+
+func (p *lifecyclePauser) hook(xid uint64) {
+	if want := p.xid.Load(); want != 0 && want != xid {
+		return
+	}
+	if p.armed.CompareAndSwap(true, false) {
+		close(p.inWindow)
+		<-p.release
+	}
+}
+
+// TestLifecyclePreCommitWindowWriteSkew drives write skew against the
+// pre-commit window: T1 passes its pre-commit serialization check and is
+// parked before its commit-sequence assignment, while T2 builds the
+// closing rw-antidependency cycle (T2 reads what T1 wrote, writes what
+// T1 read) and commits, dooming T1.
+//
+//	T1: read k1, write k2, [check passes — window] … assign seq, finish
+//	T2:                    read k2, write k1, commit (dooms T1)
+//
+// With fencing, the check and the assignment are one critical section
+// (T1 holds its edge lock across the window, since it is conflict-free
+// at check time), so T2's conflict flagging provably blocks until T1 is
+// committed and exactly one transaction fails. With the fencing
+// disabled, T1 commits despite the doom and the write-skew anomaly
+// survives SERIALIZABLE.
+func TestLifecyclePreCommitWindowWriteSkew(t *testing.T) {
+	t.Run("fencing-disabled-misses-doom", func(t *testing.T) {
+		err1, err2, on := runLifecyclePreCommitWindow(t, true)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("expected the unfenced engine to commit both: err1=%v err2=%v", err1, err2)
+		}
+		if on != 0 {
+			t.Fatalf("write skew admitted but invariant intact: %d rows on, want 0", on)
+		}
+	})
+	t.Run("fencing-blocks-and-detects", func(t *testing.T) {
+		err1, err2, on := runLifecyclePreCommitWindow(t, false)
+		if (err1 == nil) == (err2 == nil) {
+			t.Fatalf("exactly one transaction should fail: err1=%v err2=%v", err1, err2)
+		}
+		failed := err1
+		if failed == nil {
+			failed = err2
+		}
+		if !pgssi.IsSerializationFailure(failed) {
+			t.Fatalf("failure should be a serialization failure, got %v", failed)
+		}
+		if on != 1 {
+			t.Fatalf("one transaction aborted: %d rows on, want 1", on)
+		}
+	})
+}
+
+func runLifecyclePreCommitWindow(t *testing.T, disableFencing bool) (err1, err2 error, on int) {
+	t.Helper()
+	p := newLifecyclePauser()
+	db := windowDB(t, pgssi.Config{
+		DisableLifecycleFencing: disableFencing,
+		OnPreCommit:             p.hook,
+	})
+	t1, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+	mustExec(t, err)
+	t2, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+	mustExec(t, err)
+
+	if _, err := t1.Get("t", "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Update("t", "k2", []byte("off")); err != nil {
+		t.Fatal(err)
+	}
+	p.arm(t1.ID())
+	t1done := make(chan struct{})
+	go func() {
+		defer close(t1done)
+		err1 = t1.Commit()
+	}()
+	<-p.inWindow
+
+	t2done := make(chan struct{})
+	go func() {
+		defer close(t2done)
+		err2 = func() error {
+			if _, err := t2.Get("t", "k2"); err != nil {
+				t2.Rollback()
+				return err
+			}
+			if err := t2.Update("t", "k1", []byte("off")); err != nil {
+				t2.Rollback()
+				return err
+			}
+			return t2.Commit()
+		}()
+	}()
+
+	if disableFencing {
+		// The reopened window: T2 must be able to run to commit while
+		// T1 sits between its passed check and its commit.
+		<-t2done
+	} else {
+		// T1 holds its commit critical section across the window; T2's
+		// first conflict against T1 (its read of k2 sees T1's
+		// uncommitted version) must block on it.
+		select {
+		case <-t2done:
+			t.Fatal("T2 finished while T1 held its commit critical section")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	close(p.release)
+	<-t1done
+	<-t2done
+	return err1, err2, onCount(t, db)
+}
+
+// TestLifecycleReadOnlyBeginWindow drives the §4.2 safe-snapshot
+// bookkeeping against Begin's window between snapshot acquisition and
+// safety-watcher registration. The schedule makes RO's snapshot
+// genuinely unsafe: a read/write transaction X (with an rw-conflict out
+// to T3, which committed before RO's snapshot) commits inside RO's
+// begin window.
+//
+//	T3: write k1, commit (C1)                 [X → T3 flagged first]
+//	X:  read k1 … write k2 …                  … commit (out-conflict C1)
+//	RO:              snapshot [window] register-watchers, read k1, k2
+//
+// With fencing, Begin holds the snapshot and the watcher scan in one
+// critical section: X's commit provably blocks until RO is watching it,
+// the verdict resolves to unsafe, and RO's subsequent read of k2 — a
+// dangerous structure RO → X → T3 with T3 committed before RO's
+// snapshot — correctly aborts RO. With the fencing disabled, X's commit
+// escapes the bookkeeping, RO is wrongly marked safe (it drops SSI
+// tracking entirely), and it silently observes the impossible state
+// {k1 from T3, k2 pre-X}: RO must follow T3 (it saw T3's write),
+// precede X (it missed X's write), yet X precedes T3 in every serial
+// order (X read k1 before T3 changed it) — a cycle.
+func TestLifecycleReadOnlyBeginWindow(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		t.Run(fmt.Sprintf("fencing-disabled=%v", disable), func(t *testing.T) {
+			p := newLifecyclePauser()
+			db := windowDB(t, pgssi.Config{
+				DisableLifecycleFencing: disable,
+				OnBegin:                 p.hook,
+			})
+			x, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+			mustExec(t, err)
+			t3, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+			mustExec(t, err)
+
+			// X reads k1, then T3 overwrites it and commits: X → T3.
+			if _, err := x.Get("t", "k1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := t3.Update("t", "k1", []byte("t3")); err != nil {
+				t.Fatal(err)
+			}
+			mustExec(t, t3.Commit())
+			// X writes, so its commit matters for snapshot safety.
+			if err := x.Update("t", "k2", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+
+			// RO begins and parks in the lifecycle window.
+			p.arm(0)
+			var ro *pgssi.Tx
+			roBegun := make(chan struct{})
+			go func() {
+				defer close(roBegun)
+				var err error
+				ro, err = db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable, ReadOnly: true})
+				if err != nil {
+					t.Error(err)
+				}
+			}()
+			<-p.inWindow
+
+			// X commits inside RO's begin window.
+			xdone := make(chan struct{})
+			var xerr error
+			go func() {
+				defer close(xdone)
+				xerr = x.Commit()
+			}()
+			if disable {
+				// The reopened window: X's commit completes while RO is
+				// between its snapshot and its watcher registration.
+				<-xdone
+			} else {
+				// RO's fenced Begin holds the critical section; X's
+				// commit must block on it.
+				select {
+				case <-xdone:
+					t.Fatal("X committed while RO held its begin critical section")
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
+			close(p.release)
+			<-roBegun
+			<-xdone
+			mustExec(t, xerr)
+
+			v1, err1 := ro.Get("t", "k1")
+			if disable {
+				// Missed verdict: RO believes its snapshot is safe and
+				// observes the impossible state.
+				if !ro.OnSafeSnapshot() {
+					t.Fatal("unfenced begin should wrongly mark the snapshot safe")
+				}
+				mustExec(t, err1)
+				v2, err2 := ro.Get("t", "k2")
+				mustExec(t, err2)
+				if string(v1) != "t3" || string(v2) != "on" {
+					t.Fatalf("expected the anomalous pair {k1=t3, k2=on}, got {k1=%s, k2=%s}", v1, v2)
+				}
+				mustExec(t, ro.Commit())
+				return
+			}
+			// Fenced: the verdict is unsafe, RO keeps full SSI tracking,
+			// and the dangerous structure RO → X → T3 aborts RO when it
+			// tries to read around X's write.
+			if ro.OnSafeSnapshot() {
+				t.Fatal("fenced begin must resolve the snapshot unsafe")
+			}
+			mustExec(t, err1)
+			_, err2 := ro.Get("t", "k2")
+			if err2 == nil {
+				ro.Rollback()
+				t.Fatal("RO's read of k2 must abort: RO → X → T3 with T3 committed before RO's snapshot")
+			}
+			if !pgssi.IsSerializationFailure(err2) {
+				t.Fatalf("expected serialization failure, got %v", err2)
+			}
+			ro.Rollback()
+		})
+	}
+}

@@ -38,3 +38,24 @@ func BenchmarkLockAcquireParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLifecycleBeginCommitParallel isolates the SSI lifecycle —
+// Begin against the sharded registry and the conflict-free commit fast
+// path — with no engine, storage, or read overhead, the lifecycle
+// analogue of BenchmarkLockAcquireParallel. Transactions have no edges,
+// so commits should never touch the conflict-graph mutex.
+func BenchmarkLifecycleBeginCommitParallel(b *testing.B) {
+	mv := mvcc.NewManager()
+	mgr := NewManager(mv, Config{})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			xid := mv.Begin()
+			x, _ := mgr.Begin(xid, mv.TakeSnapshot, false, false)
+			if err := mgr.Commit(x, func() mvcc.SeqNo { return mv.Commit(xid) }); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

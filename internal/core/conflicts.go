@@ -102,7 +102,7 @@ func (m *Manager) flagConflictOutLocked(x *Xact, writer mvcc.TxID) error {
 	if writer == x.XID {
 		return nil
 	}
-	if w, ok := m.xacts[writer]; ok {
+	if w, ok := m.lookupXact(writer); ok {
 		return m.onConflictDetectedLocked(x, w, x)
 	}
 	if outSeq, ok := m.summary[writer]; ok {
@@ -149,8 +149,27 @@ func (m *Manager) conflictWithSummarizedWriterLocked(x *Xact, wCommit, outSeq mv
 // the analogue of PostgreSQL's OnConflictDetected. caller is the
 // transaction performing the operation (r for reads, w for writes), so
 // errors can be delivered to the right party.
+//
+// Both endpoints' edge locks are held for the whole call (permitted:
+// the caller holds m.mu; see the ordering rule in partition.go). That
+// is what fences conflict flagging against the edge-lock commit fast
+// path: a conflict-free endpoint racing its own commit either commits
+// first — then its committed flag and CommitSeq are visible here and
+// the committed-transaction rules apply, exactly as if the flagging had
+// serialized after the commit on a global mutex — or the edge is
+// inserted first and the endpoint's eligibility check sees it and takes
+// the slow path through the full pre-commit check.
 func (m *Manager) onConflictDetectedLocked(r, w, caller *Xact) error {
-	if r == w || r.safe.Load() || r.aborted || w.aborted {
+	if r == w {
+		return nil
+	}
+	r.edgeMu.Lock()
+	w.edgeMu.Lock()
+	defer func() {
+		w.edgeMu.Unlock()
+		r.edgeMu.Unlock()
+	}()
+	if r.safe.Load() || r.aborted || w.aborted {
 		return nil
 	}
 	if _, dup := r.outConflicts[w]; !dup {
@@ -454,10 +473,13 @@ func (m *Manager) CheckIndexInsert(x *Xact, idx string, page int64) error {
 }
 
 // checkTargetWriteLocked flags reader → x for every SIREAD holder of t.
-// Caller holds m.mu, which pins every holder's lifecycle (no holder can
-// commit-clean, abort, or be summarized between the snapshot below and
-// the flagging); the partition mutex is held only while snapshotting the
-// holder set, since flagging can itself mutate the lock table via dooms.
+// Caller holds m.mu, which pins every holder's SIREAD locks (abort,
+// reclamation, and summarization all require m.mu, so no holder leaves
+// the table between the snapshot below and the flagging; a holder may
+// commit on the edge-lock fast path, which keeps its locks and is
+// fenced by onConflictDetectedLocked's edge-pair locking). The
+// partition mutex is held only while snapshotting the holder set, since
+// flagging can itself mutate the lock table via dooms.
 func (m *Manager) checkTargetWriteLocked(x *Xact, t Target) error {
 	p := m.partition(t)
 	p.mu.Lock()

@@ -20,22 +20,33 @@
 //     out-conflict commit table (§6);
 //   - two-phase commit support with conservative recovery (§7.1).
 //
-// Concurrency control is split in two, mirroring PostgreSQL's
-// SerializableXactHashLock / PredicateLockHashPartitionLock division
-// (§8 identifies the single lock as the contention point at high core
-// counts). Transaction lifecycle and the rw-antidependency graph are
-// guarded by the single Manager.mu; the SIREAD lock table is sharded
-// into Config.Partitions hash partitions, each with its own mutex, so
-// the per-read lock acquisition path never takes the global mutex. The
-// full lock-ordering rule (Manager.mu → Xact.lockMu → partition mutex,
-// outer to inner, never interleaved) and the promotion invariants that
-// keep multigranularity locking correct across partitions are
-// documented in partition.go.
+// Concurrency control is decomposed along the lines §8 of the paper
+// suggests once the single SerializableXactHashLock becomes the
+// bottleneck:
+//
+//   - the SIREAD lock table is sharded into Config.Partitions hash
+//     partitions (partition.go), so per-read lock acquisition never
+//     takes a global mutex;
+//   - transaction lifecycle runs against a sharded active-transaction
+//     registry (registry.go): Begin registers with an atomic
+//     snapshot-ordering step and takes no global mutex, and a commit
+//     with no conflict edges or safety watchers commits under only its
+//     own per-transaction edge lock;
+//   - cleanup and summarization of committed transactions run in an
+//     epoch-based background reclaimer (reclaim.go), off the commit
+//     critical section;
+//   - Manager.mu remains only as the conflict-graph mutex: conflict
+//     flagging, dangerous-structure traversal, the pre-commit check of
+//     edge-bearing transactions, and read-only safety registration
+//     serialize there.
+//
+// The full lock-ordering rule is documented in partition.go.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -143,9 +154,44 @@ type Config struct {
 	DisableReadOnlyOpt bool
 	// Partitions is the number of hash partitions the SIREAD lock
 	// table is divided into, the analogue of PostgreSQL's
-	// NUM_PREDICATELOCK_PARTITIONS. Rounded up to a power of two;
-	// defaults to 16. Set to 1 to reproduce the single-mutex table.
+	// NUM_PREDICATELOCK_PARTITIONS. It also sizes the active-transaction
+	// registry shards. Rounded up to a power of two; defaults to 16.
+	// Set to 1 to reproduce the single-mutex table.
 	Partitions int
+
+	// DisableLifecycleFencing reopens the lifecycle windows that the
+	// fine-grained Begin/Commit locking must keep closed. Test-only
+	// ablation; never set it in production. With it set:
+	//
+	//   - Begin takes its snapshot BEFORE registering in the active
+	//     registry (instead of publishing a snapshot bound first), so
+	//     the epoch reclaimer can prematurely drop committed state the
+	//     new transaction is concurrent with;
+	//   - a read-only Begin registers its safety watchers in a separate
+	//     critical section from its snapshot, so a read/write
+	//     transaction committing in between escapes the bookkeeping and
+	//     the safe-snapshot verdict can be wrong;
+	//   - Commit assigns the commit sequence in a separate critical
+	//     section from the pre-commit check, so a dangerous structure
+	//     completed in between (including a doom of the committer) is
+	//     missed.
+	DisableLifecycleFencing bool
+	// OnBegin, if non-nil, is invoked during Begin's snapshot-ordering
+	// step with the transaction's xid: after registration and before
+	// the snapshot is taken (for fenced read-only begins, between the
+	// snapshot and the safety-watcher registration, inside the critical
+	// section; with DisableLifecycleFencing, inside the reopened
+	// window). Test-only interleaving hook; it must not call back into
+	// the Manager.
+	OnBegin func(xid mvcc.TxID)
+	// OnPreCommit, if non-nil, is invoked between a passing pre-commit
+	// serialization check and the commit-sequence assignment, while the
+	// commit's critical section (Manager.mu, or the transaction's edge
+	// lock on the conflict-free fast path) is held — except under
+	// DisableLifecycleFencing, where it runs in the reopened window
+	// with no lock held. Test-only interleaving hook; it must not call
+	// back into the Manager.
+	OnPreCommit func(xid mvcc.TxID)
 }
 
 func (c Config) withDefaults() Config {
@@ -192,17 +238,28 @@ type Stats struct {
 }
 
 // Xact is the SSI bookkeeping for one serializable transaction —
-// PostgreSQL's SERIALIZABLEXACT. Fields are protected by the Manager's
-// mutex, except the lock bookkeeping guarded by lockMu and the atomic
-// flags noted below.
+// PostgreSQL's SERIALIZABLEXACT. Conflict-graph state (the edge maps,
+// watch maps, and lifecycle flags below) follows the edge-lock protocol
+// documented in partition.go: mutations hold Manager.mu AND the owning
+// transaction's edgeMu; reads hold either. Lock bookkeeping is guarded
+// by lockMu; the atomic fields are noted below.
 type Xact struct {
 	// XID is the MVCC transaction ID.
 	XID mvcc.TxID
 	// SnapshotSeq is the commit-sequence counter value when the
 	// transaction took its snapshot. Transaction T committed before
-	// this snapshot iff T.CommitSeq <= SnapshotSeq.
+	// this snapshot iff T.CommitSeq <= SnapshotSeq. It is assigned
+	// during Begin and immutable afterwards; code that can observe a
+	// transaction mid-Begin (the epoch reclaimer) must use
+	// snapshotBound instead.
 	SnapshotSeq mvcc.SeqNo
-	// CommitSeq is assigned at commit; zero while running.
+	// snapshotBound is a monotone lower bound on SnapshotSeq, published
+	// atomically before the transaction is registered and refined to
+	// the exact value once the snapshot is taken. It is the
+	// transaction's pinned reclamation epoch (registry.go).
+	snapshotBound atomic.Uint64
+	// CommitSeq is assigned at commit; zero while running. Written
+	// under edgeMu (markCommittedLocked).
 	CommitSeq mvcc.SeqNo
 
 	declaredRO bool
@@ -215,7 +272,8 @@ type Xact struct {
 	// operation or its commit will fail with ErrSerializationFailure.
 	// It is set only under the Manager's mutex but read atomically by
 	// the mutex-free read path; the pre-commit check, which runs under
-	// the mutex, is the authoritative observation.
+	// the mutex (or the edge lock on the conflict-free fast path), is
+	// the authoritative observation.
 	doomed atomic.Bool
 	// safe marks a read-only transaction running on a safe snapshot:
 	// it takes no SIREAD locks and cannot abort (§4.2). It is atomic
@@ -225,6 +283,15 @@ type Xact struct {
 	// safe mid-run and dropped its locks and conflicts.
 	partiallyReleased bool
 
+	// edgeMu is the transaction's edge lock. It guards the maps and
+	// flags above and below against the conflict-free commit fast path,
+	// which runs without Manager.mu: every mutation of this
+	// transaction's edge/watch maps or its committed/aborted/prepared
+	// flags holds both Manager.mu and edgeMu, while the fast path's
+	// eligibility check and commit transition hold only edgeMu. A
+	// thread not holding Manager.mu may hold at most ONE edge lock (its
+	// own); holding several requires Manager.mu (see partition.go).
+	edgeMu sync.Mutex
 	// inConflicts holds transactions R with an rw-antidependency
 	// R → this (R read an object this transaction wrote).
 	inConflicts map[*Xact]struct{}
@@ -259,10 +326,11 @@ type Xact struct {
 
 	// possibleUnsafe, on a read-only transaction, is the set of
 	// concurrent read/write transactions whose fate determines whether
-	// this snapshot is safe (§4.2).
+	// this snapshot is safe (§4.2). Guarded like the edge maps.
 	possibleUnsafe map[*Xact]struct{}
 	// watchingROs, on a read/write transaction, is the set of
 	// read-only transactions that listed it in possibleUnsafe.
+	// Guarded like the edge maps.
 	watchingROs map[*Xact]struct{}
 	// safeCh is closed once the safe/unsafe verdict for a read-only
 	// transaction's snapshot is known.
@@ -284,13 +352,25 @@ func (x *Xact) Doomed() bool { return x.doomed.Load() }
 // Safe reports whether the transaction is running on a safe snapshot.
 func (x *Xact) Safe() bool { return x.safe.Load() }
 
+// markCommittedLocked flips the transaction to committed with the given
+// sequence number. Caller holds x.edgeMu (the flags are read under edge
+// locks by conflict flaggers racing the commit fast path).
+func (x *Xact) markCommittedLocked(seq mvcc.SeqNo) {
+	x.committed = true
+	x.prepared = false
+	x.CommitSeq = seq
+}
+
 // Manager is the SSI state machine shared by all serializable
 // transactions of one database.
 type Manager struct {
-	// mu guards transaction lifecycle and rw-antidependency state: the
-	// xact maps, the conflict graph, the committed FIFO, the summary
-	// table, and safe-snapshot bookkeeping. The SIREAD lock table is
-	// NOT under mu; it lives in the hash partitions below.
+	// mu is the conflict-graph mutex: it guards rw-antidependency
+	// flagging, dangerous-structure traversal, the pre-commit check of
+	// edge-bearing transactions, read-only safety registration and
+	// resolution, the summary table, and stats. Transaction lifecycle
+	// is NOT globally serialized here any more: Begin uses the sharded
+	// registry below, and conflict-free commits use only their own
+	// Xact.edgeMu. The SIREAD lock table lives in the hash partitions.
 	mu   sync.Mutex
 	cfg  Config
 	mvcc *mvcc.Manager
@@ -301,20 +381,24 @@ type Manager struct {
 	parts    []lockPartition
 	partMask uint64
 
-	// xacts maps xid → tracked transaction (active, prepared, or
-	// committed-and-still-tracked).
-	xacts map[mvcc.TxID]*Xact
-	// active is the subset of xacts that has neither committed nor
-	// aborted. Cleanup and read-only safety registration iterate this
-	// set, which stays small, instead of the full tracked map.
-	active map[*Xact]struct{}
+	// xshards is the sharded active-transaction registry (registry.go);
+	// xshardMask selects a shard from an xid. activeCount mirrors the
+	// total active-set size so lifecycle paths can detect quiescence
+	// without a shard scan.
+	xshards     []xactShard
+	xshardMask  uint64
+	activeCount atomic.Int64
+
 	// roSweepValid records that the §6.1 only-read-only-transactions
 	// sweep has already run and no read/write transaction has begun
-	// or committed since.
-	roSweepValid bool
-	// committed is the FIFO of committed transactions still tracked in
-	// full, oldest first.
-	committed []*Xact
+	// or committed since. Atomic: cleared by the unfenced Begin path.
+	roSweepValid atomic.Bool
+
+	// retireMu guards retired, the queue of committed transactions
+	// awaiting epoch reclamation (reclaim.go), sorted by CommitSeq.
+	retireMu sync.Mutex
+	retired  []*Xact
+
 	// oldCommitted is the dummy transaction that absorbs summarized
 	// transactions' SIREAD locks (§6.2). The per-target latest commit
 	// seq of absorbed holders lives in each partition's dummySeqs.
@@ -322,8 +406,11 @@ type Manager struct {
 	// summary maps a summarized committed transaction's xid to the
 	// commit sequence number of the earliest transaction it had a
 	// conflict out to (zero if none) — the "single 64-bit integer per
-	// transaction" table of §6.2.
+	// transaction" table of §6.2. Guarded by mu.
 	summary map[mvcc.TxID]mvcc.SeqNo
+
+	// rec is the background reclaimer's bookkeeping (reclaim.go).
+	rec reclaimer
 
 	// stats holds the counters maintained under mu; the lock-path
 	// counters below are atomics because the lock path does not take
@@ -341,13 +428,13 @@ type Manager struct {
 func NewManager(m *mvcc.Manager, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	mgr := &Manager{
-		cfg:      cfg,
-		mvcc:     m,
-		parts:    newLockPartitions(cfg.Partitions),
-		partMask: uint64(cfg.Partitions - 1),
-		xacts:    make(map[mvcc.TxID]*Xact),
-		active:   make(map[*Xact]struct{}),
-		summary:  make(map[mvcc.TxID]mvcc.SeqNo),
+		cfg:        cfg,
+		mvcc:       m,
+		parts:      newLockPartitions(cfg.Partitions),
+		partMask:   uint64(cfg.Partitions - 1),
+		xshards:    newXactShards(cfg.Partitions),
+		xshardMask: uint64(cfg.Partitions - 1),
+		summary:    make(map[mvcc.TxID]mvcc.SeqNo),
 	}
 	mgr.oldCommitted = &Xact{committed: true}
 	return mgr
@@ -370,14 +457,6 @@ func (m *Manager) Stats() Stats {
 	st.PagePromotions = m.pagePromotions.Load()
 	st.CapacityPromotions = m.capacityPromotions.Load()
 	return st
-}
-
-// TrackedXacts returns the number of transactions currently tracked
-// (active + committed-in-full). Exposed for memory-bound tests.
-func (m *Manager) TrackedXacts() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.xacts)
 }
 
 // LockCount returns the number of SIREAD lock (target, holder) pairs
@@ -404,65 +483,193 @@ func (m *Manager) SummaryTableSize() int {
 	return len(m.summary)
 }
 
-// Begin registers a serializable transaction with the given xid. snapFn
-// is invoked under the SSI mutex to take the transaction's snapshot, so
-// registration and snapshot are atomic with respect to serializable
-// commits (which also run under the mutex): the read-only safety
-// bookkeeping cannot miss a concurrent read/write transaction that
-// commits in between.
-//
-// For read-only transactions Begin records the set of concurrent
-// read/write serializable transactions whose fates decide snapshot
-// safety; if there are none, the snapshot is immediately safe (§4.2).
-func (m *Manager) Begin(xid mvcc.TxID, snapFn func() *mvcc.Snapshot, readOnly, deferrable bool) (*Xact, *mvcc.Snapshot) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	snap := snapFn()
-	// Conflict and lock maps are allocated lazily: most transactions
-	// acquire only a handful of locks and no conflicts, and safe
-	// read-only transactions none at all.
-	x := &Xact{
-		XID:         xid,
-		SnapshotSeq: snap.SeqNo,
-		declaredRO:  readOnly,
-		deferrable:  deferrable,
+// beginHook invokes the OnBegin interleaving hook, if configured.
+func (m *Manager) beginHook(xid mvcc.TxID) {
+	if h := m.cfg.OnBegin; h != nil {
+		h(xid)
 	}
-	m.xacts[xid] = x
-	m.active[x] = struct{}{}
-	if !readOnly {
-		m.roSweepValid = false
+}
+
+// preCommitHook invokes the OnPreCommit interleaving hook, if configured.
+func (m *Manager) preCommitHook(xid mvcc.TxID) {
+	if h := m.cfg.OnPreCommit; h != nil {
+		h(xid)
+	}
+}
+
+// Begin registers a serializable transaction with the given xid. snapFn
+// is invoked to take the transaction's snapshot.
+//
+// The common (read/write or undeclared) path takes no global mutex. Its
+// snapshot-ordering step makes registration atomic enough for the epoch
+// reclaimer: the transaction publishes a snapshot bound (the current
+// commit sequence) and registers in its registry shard BEFORE taking the
+// snapshot, so at every instant the reclaimer either sees the
+// transaction with a conservative epoch pin or can prove the snapshot
+// will be too new to observe anything reclaimed.
+//
+// Declared read-only transactions (with the §4 optimizations enabled)
+// take the fenced path under the conflict-graph mutex: the snapshot and
+// the safety-watcher registration must be one atomic step with respect
+// to read/write commits, or a commit in between could escape the §4.2
+// bookkeeping. Begin records the set of concurrent read/write
+// serializable transactions whose fates decide snapshot safety; if there
+// are none, the snapshot is immediately safe.
+func (m *Manager) Begin(xid mvcc.TxID, snapFn func() *mvcc.Snapshot, readOnly, deferrable bool) (*Xact, *mvcc.Snapshot) {
+	x := &Xact{
+		XID:        xid,
+		declaredRO: readOnly,
+		deferrable: deferrable,
 	}
 	if readOnly && !m.cfg.DisableReadOnlyOpt {
-		x.safeCh = make(chan struct{})
-		for other := range m.active {
-			if other == x || other.declaredRO {
-				continue
-			}
-			if x.possibleUnsafe == nil {
-				x.possibleUnsafe = make(map[*Xact]struct{})
-			}
-			x.possibleUnsafe[other] = struct{}{}
-			if other.watchingROs == nil {
-				other.watchingROs = make(map[*Xact]struct{})
-			}
-			other.watchingROs[x] = struct{}{}
-		}
-		if len(x.possibleUnsafe) == 0 {
-			m.markSafeLocked(x)
-			m.stats.ImmediatelySafe++
-		}
-	} else if readOnly && m.cfg.DisableReadOnlyOpt {
-		// With the optimization disabled the verdict is always
-		// "unsafe"; there is no channel to close because none was
-		// created.
+		return x, m.beginReadOnly(x, snapFn)
+	}
+
+	var snap *mvcc.Snapshot
+	if m.cfg.DisableLifecycleFencing {
+		// Ablation: the naive order — snapshot first, registration
+		// after. In the window between them the transaction pins no
+		// epoch, so the reclaimer can drop committed SIREAD locks and
+		// edges the new snapshot is still concurrent with (premature
+		// reclamation; see the lifecycle interleaving tests).
+		snap = snapFn()
+		m.beginHook(xid)
+		x.SnapshotSeq = snap.SeqNo
+		x.snapshotBound.Store(uint64(snap.SeqNo))
+		m.registerXact(x)
+	} else {
+		x.snapshotBound.Store(uint64(m.mvcc.CurrentSeq()))
+		m.registerXact(x)
+		m.beginHook(xid)
+		snap = snapFn()
+		x.SnapshotSeq = snap.SeqNo
+		x.snapshotBound.Store(uint64(snap.SeqNo))
+	}
+	if !readOnly {
+		m.roSweepValid.Store(false)
+	} else {
+		// DisableReadOnlyOpt: the verdict is always "unsafe"; there is
+		// no channel to close because none was created.
 		x.unsafe = true
 	}
 	return x, snap
 }
 
+// beginReadOnly is the fenced Begin path for declared read-only
+// transactions with the §4 optimizations enabled.
+func (m *Manager) beginReadOnly(x *Xact, snapFn func() *mvcc.Snapshot) *mvcc.Snapshot {
+	x.safeCh = make(chan struct{})
+	if m.cfg.DisableLifecycleFencing {
+		// Ablation: snapshot and watcher registration in separate
+		// critical sections, with the interleaving hook in the reopened
+		// window. A read/write transaction committing in the window has
+		// left the active set by the time the scan below runs, and the
+		// ablated scan does not consult the retire queue — its fate
+		// escapes the safety bookkeeping entirely.
+		m.mu.Lock()
+		snap := snapFn()
+		x.SnapshotSeq = snap.SeqNo
+		x.snapshotBound.Store(uint64(snap.SeqNo))
+		m.registerXact(x)
+		m.mu.Unlock()
+		m.beginHook(x.XID)
+		m.mu.Lock()
+		m.registerROWatchesLocked(x, false)
+		m.mu.Unlock()
+		return snap
+	}
+	m.mu.Lock()
+	x.snapshotBound.Store(uint64(m.mvcc.CurrentSeq()))
+	m.registerXact(x)
+	snap := snapFn()
+	x.SnapshotSeq = snap.SeqNo
+	x.snapshotBound.Store(uint64(snap.SeqNo))
+	m.beginHook(x.XID)
+	m.registerROWatchesLocked(x, true)
+	m.mu.Unlock()
+	return snap
+}
+
+// registerROWatchesLocked records, for read-only transaction x, the set
+// of concurrent read/write transactions whose fates decide whether x's
+// snapshot is safe (§4.2). Caller holds m.mu.
+//
+// Because conflict-free read/write transactions commit without m.mu,
+// "concurrent and uncommitted" cannot be read off the active set alone:
+// a transaction that committed after x's snapshot may already have left
+// it. Commits retire into the queue BEFORE deactivating (reclaim.go),
+// and reclamation and summarization require m.mu — so scanning the
+// active set and then the retire queue, all under m.mu, sees every
+// read/write transaction whose commit sequence postdates x's snapshot.
+// Candidates found already committed are evaluated inline with the same
+// rule finishCommitLocked applies when a watched transaction commits.
+// includeRetired is false only under the DisableLifecycleFencing
+// ablation, which deliberately skips the retire-queue scan.
+func (m *Manager) registerROWatchesLocked(x *Xact, includeRetired bool) {
+	cands := m.activeXacts()
+	if includeRetired {
+		// Only commits that postdate x's snapshot can decide its
+		// safety; the queue is sorted by CommitSeq, so scan just that
+		// suffix instead of up to MaxCommittedXacts entries.
+		m.retireMu.Lock()
+		i := sort.Search(len(m.retired), func(i int) bool {
+			return m.retired[i].CommitSeq > x.SnapshotSeq
+		})
+		cands = append(cands, m.retired[i:]...)
+		m.retireMu.Unlock()
+	}
+	seen := make(map[*Xact]struct{}, len(cands))
+	unsafe := false
+	for _, c := range cands {
+		if unsafe {
+			// Verdict already decided; registering more watchers would
+			// only be undone by markUnsafeLocked below.
+			break
+		}
+		if c == x || c.declaredRO {
+			continue
+		}
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		c.edgeMu.Lock()
+		switch {
+		case c.aborted:
+			// Fate known, irrelevant.
+		case c.committed:
+			// c committed between x's snapshot and this scan (or is
+			// awaiting reclamation from before — then CommitSeq <=
+			// SnapshotSeq filters it): apply the §4.2 rule directly.
+			if c.CommitSeq > x.SnapshotSeq && c.wrote &&
+				c.earliestOutConflictCommit != 0 && c.earliestOutConflictCommit <= x.SnapshotSeq {
+				unsafe = true
+			}
+		default:
+			if x.possibleUnsafe == nil {
+				x.possibleUnsafe = make(map[*Xact]struct{})
+			}
+			x.possibleUnsafe[c] = struct{}{}
+			if c.watchingROs == nil {
+				c.watchingROs = make(map[*Xact]struct{})
+			}
+			c.watchingROs[x] = struct{}{}
+		}
+		c.edgeMu.Unlock()
+	}
+	if unsafe {
+		m.markUnsafeLocked(x)
+		return
+	}
+	if len(x.possibleUnsafe) == 0 {
+		m.markSafeLocked(x)
+		m.stats.ImmediatelySafe++
+	}
+}
+
 // markSafeLocked transitions a read-only transaction onto a safe
 // snapshot: it drops all SSI state and runs as plain snapshot isolation
-// from here on. Caller holds m.mu.
+// from here on. Caller holds m.mu but no edge locks.
 func (m *Manager) markSafeLocked(x *Xact) {
 	if x.safe.Load() {
 		return
@@ -474,16 +681,21 @@ func (m *Manager) markSafeLocked(x *Xact) {
 	// snapshot can never be part of a dangerous structure.
 	m.releaseLocksLocked(x)
 	for w := range x.outConflicts {
+		w.edgeMu.Lock()
 		delete(w.inConflicts, x)
+		w.edgeMu.Unlock()
 	}
+	x.edgeMu.Lock()
 	x.outConflicts = nil
 	x.partiallyReleased = true
+	x.edgeMu.Unlock()
 	if x.safeCh != nil {
 		close(x.safeCh)
 	}
 }
 
-// markUnsafeLocked records the "unsafe snapshot" verdict. Caller holds m.mu.
+// markUnsafeLocked records the "unsafe snapshot" verdict. Caller holds
+// m.mu but no edge locks.
 func (m *Manager) markUnsafeLocked(x *Xact) {
 	if x.safe.Load() || x.unsafe {
 		return
@@ -491,9 +703,13 @@ func (m *Manager) markUnsafeLocked(x *Xact) {
 	x.unsafe = true
 	// Detach from remaining watched transactions.
 	for rw := range x.possibleUnsafe {
+		rw.edgeMu.Lock()
 		delete(rw.watchingROs, x)
+		rw.edgeMu.Unlock()
 	}
+	x.edgeMu.Lock()
 	x.possibleUnsafe = nil
+	x.edgeMu.Unlock()
 	if x.safeCh != nil {
 		close(x.safeCh)
 	}

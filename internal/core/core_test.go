@@ -489,7 +489,9 @@ func TestCleanupReleasesCommittedState(t *testing.T) {
 	if err := h.commit(x); err != nil {
 		t.Fatal(err)
 	}
-	// No other transaction is active: cleanup should have removed it.
+	// No other transaction is active: a reclaim pass (cleanup is
+	// deferred to the epoch reclaimer) must remove all trace of it.
+	h.mgr.ReclaimNow()
 	if n := h.mgr.TrackedXacts(); n != 0 {
 		t.Fatalf("tracked xacts = %d, want 0 after cleanup", n)
 	}

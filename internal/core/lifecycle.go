@@ -1,41 +1,134 @@
 package core
 
 import (
-	"math"
-
 	"pgssi/internal/mvcc"
 )
 
 // This file implements the transaction lifecycle: the pre-commit
 // serialization-failure check (§5.4), commit processing with safe-snapshot
-// resolution (§4.2), abort processing, aggressive cleanup of committed
-// transactions (§6.1), and summarization (§6.2).
+// resolution (§4.2), and abort processing. Cleanup of committed
+// transactions (§6.1) and summarization (§6.2) live in reclaim.go.
 
 // Commit atomically performs the pre-commit serialization check and, if
-// it passes, commits the transaction: commitFn is invoked under the SSI
-// mutex to assign the commit sequence number (typically mvcc.Commit).
-// If the check fails, ErrSerializationFailure is returned, no commit
-// happens, and the caller must abort the transaction.
+// it passes, commits the transaction: commitFn is invoked inside the
+// commit critical section to assign the commit sequence number
+// (typically mvcc.Commit). If the check fails, ErrSerializationFailure
+// is returned, no commit happens, and the caller must abort the
+// transaction.
 //
 // Performing the check and the commit in one critical section prevents a
 // window in which a new conflict could form against a transaction that
 // already passed its check, mirroring PostgreSQL's use of
-// SerializableXactHashLock around both.
+// SerializableXactHashLock around both. The critical section is chosen
+// by what the transaction accumulated:
+//
+//   - A transaction with no conflict edges, no summary flags, and no
+//     safety watchers commits under only its own edge lock. Conflict
+//     flaggers take the edge locks of both endpoints before mutating
+//     edge state, so they either complete before the eligibility check
+//     here (the commit then takes the slow path) or observe the
+//     transaction already committed and apply the committed-transaction
+//     rules. The linearization point is the edge-lock critical section.
+//   - Anything else serializes on the conflict-graph mutex, where the
+//     full dangerous-structure check runs.
+//
+// Cleanup and summarization are NOT part of either critical section any
+// more; they are deferred to the epoch reclaimer (reclaim.go).
 func (m *Manager) Commit(x *Xact, commitFn func() mvcc.SeqNo) error {
+	if m.cfg.DisableLifecycleFencing {
+		return m.commitUnfenced(x, commitFn)
+	}
+
+	x.edgeMu.Lock()
+	if m.fastCommitEligibleLocked(x) {
+		m.preCommitHook(x.XID)
+		seq := commitFn()
+		x.markCommittedLocked(seq)
+		x.edgeMu.Unlock()
+		m.finishCommitFast(x)
+		return nil
+	}
+	x.edgeMu.Unlock()
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := m.preCommitCheckLocked(x); err != nil {
+		m.mu.Unlock()
 		return err
 	}
+	m.preCommitHook(x.XID)
 	seq := commitFn()
-	m.finishCommitLocked(x, seq)
+	n := m.finishCommitLocked(x, seq)
+	m.mu.Unlock()
+	m.afterCommit(n)
 	return nil
+}
+
+// commitUnfenced is the DisableLifecycleFencing ablation of Commit: the
+// pre-commit check and the commit-sequence assignment run in separate
+// critical sections, with the OnPreCommit hook in the reopened window
+// and no re-check afterwards. A dangerous structure completed in the
+// window — including one that dooms this transaction — is missed, and
+// the transaction commits anyway. The second half still takes the
+// proper locks (the ablation reopens the logical window, it does not
+// introduce data races).
+func (m *Manager) commitUnfenced(x *Xact, commitFn func() mvcc.SeqNo) error {
+	x.edgeMu.Lock()
+	fast := m.fastCommitEligibleLocked(x)
+	x.edgeMu.Unlock()
+	if !fast {
+		m.mu.Lock()
+		err := m.preCommitCheckLocked(x)
+		m.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	m.preCommitHook(x.XID)
+	m.mu.Lock()
+	seq := commitFn()
+	n := m.finishCommitLocked(x, seq)
+	m.mu.Unlock()
+	m.afterCommit(n)
+	return nil
+}
+
+// fastCommitEligibleLocked reports whether x can commit on the edge-lock
+// fast path: nothing about it can participate in a dangerous structure
+// or a safe-snapshot verdict, so its pre-commit check is trivially
+// empty. Caller holds x.edgeMu. Any state that would make this false is
+// only set while holding x.edgeMu (by conflict flaggers, the read-only
+// safety scan, or summarization), so the answer cannot be invalidated
+// between this check and the commit transition in the same critical
+// section. Dooms reach a transaction only through edges, so the map
+// checks subsume the doomed check; it is kept as a cheap backstop.
+func (m *Manager) fastCommitEligibleLocked(x *Xact) bool {
+	return len(x.inConflicts) == 0 && len(x.outConflicts) == 0 &&
+		!x.summaryConflictIn && x.earliestOutConflictCommit == 0 &&
+		len(x.watchingROs) == 0 && len(x.possibleUnsafe) == 0 &&
+		x.safeCh == nil && !x.prepared && !x.aborted &&
+		!x.safe.Load() && !x.doomed.Load()
+}
+
+// finishCommitFast completes a fast-path commit after the edge-lock
+// critical section: lock-set freeze, retire-queue insertion, and
+// registry deactivation. The retire-before-deactivate order matters —
+// see registerROWatchesLocked.
+func (m *Manager) finishCommitFast(x *Xact) {
+	x.lockMu.Lock()
+	x.lockingDone = true
+	x.lockMu.Unlock()
+	if x.wrote {
+		m.roSweepValid.Store(false)
+	}
+	n := m.retire(x)
+	m.deactivateXact(x)
+	m.afterCommit(n)
 }
 
 // preCommitCheckLocked is PreCommit_CheckForSerializationFailure: it
 // looks for dangerous structures in which the committing transaction is
 // T3 (committing first, so the pivot must be doomed — §5.4 rule 1/2) or
-// the pivot itself (self-abort, rule 2/3 fallback).
+// the pivot itself (self-abort, rule 2/3 fallback). Caller holds m.mu.
 func (m *Manager) preCommitCheckLocked(x *Xact) error {
 	if x.doomed.Load() {
 		return ErrSerializationFailure
@@ -139,56 +232,59 @@ func (m *Manager) preCommitCheckLocked(x *Xact) error {
 
 // finishCommitLocked marks x committed with sequence number seq,
 // propagates the out-conflict commit info to its readers, resolves
-// safe-snapshot watchers, and triggers cleanup and summarization.
-func (m *Manager) finishCommitLocked(x *Xact, seq mvcc.SeqNo) {
-	x.committed = true
-	x.prepared = false
-	x.CommitSeq = seq
-	delete(m.active, x)
+// safe-snapshot watchers, and retires x for the epoch reclaimer. It
+// returns the retire-queue length for the caller's pressure policy.
+// Caller holds m.mu but no edge locks.
+func (m *Manager) finishCommitLocked(x *Xact, seq mvcc.SeqNo) int {
+	x.edgeMu.Lock()
+	x.markCommittedLocked(seq)
+	x.edgeMu.Unlock()
 	// A committed transaction keeps its SIREAD locks until cleanup but
 	// must not grow its lock set.
 	x.lockMu.Lock()
 	x.lockingDone = true
 	x.lockMu.Unlock()
 	if x.wrote {
-		m.roSweepValid = false
+		m.roSweepValid.Store(false)
 	}
 
 	// Every reader r with r → x now has a committed out-conflict;
 	// record the earliest such commit (§6.1).
 	for r := range x.inConflicts {
+		r.edgeMu.Lock()
 		if r.earliestOutConflictCommit == 0 || seq < r.earliestOutConflictCommit {
 			r.earliestOutConflictCommit = seq
 		}
+		r.edgeMu.Unlock()
 	}
 
 	// Resolve read-only snapshot safety (§4.2): x's fate is now known
 	// to every read-only transaction that was watching it.
 	for ro := range x.watchingROs {
+		ro.edgeMu.Lock()
 		delete(ro.possibleUnsafe, x)
+		undecided := len(ro.possibleUnsafe) == 0 && !ro.unsafe && !ro.safe.Load()
+		ro.edgeMu.Unlock()
 		if x.wrote && x.earliestOutConflictCommit != 0 && x.earliestOutConflictCommit <= ro.SnapshotSeq {
 			// x committed with an rw-conflict out to a transaction
 			// that committed before ro's snapshot: unsafe.
 			m.markUnsafeLocked(ro)
 			continue
 		}
-		if len(ro.possibleUnsafe) == 0 && !ro.unsafe && !ro.safe.Load() {
+		if undecided {
 			m.markSafeLocked(ro)
 		}
 	}
+	x.edgeMu.Lock()
 	x.watchingROs = nil
+	x.edgeMu.Unlock()
 
-	// If x is itself read-only its SSI state is no longer useful to
-	// anyone once it commits — a committed read-only transaction can
-	// only be T1 of a structure, which its SIREAD locks already
-	// detect. Keep locks, drop nothing special here; cleanup below
-	// handles expiry.
-	m.committed = append(m.committed, x)
-
-	m.clearOldLocked()
-	for len(m.committed) > m.cfg.MaxCommittedXacts {
-		m.summarizeOldestLocked()
-	}
+	// Retire for the epoch reclaimer; the transaction stays in the
+	// registry's tracked map (conflict lookups must still find it)
+	// until reclaimed or summarized.
+	n := m.retire(x)
+	m.deactivateXact(x)
+	return n
 }
 
 // Abort releases all SSI state for x. The engine calls it after marking
@@ -196,35 +292,52 @@ func (m *Manager) finishCommitLocked(x *Xact, seq mvcc.SeqNo) {
 // failure dooms it).
 func (m *Manager) Abort(x *Xact) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if x.aborted {
+		m.mu.Unlock()
 		return
 	}
+	x.edgeMu.Lock()
 	x.aborted = true
 	x.prepared = false
-	delete(m.active, x)
+	x.edgeMu.Unlock()
+	m.dropXact(x)
 	m.releaseLocksLocked(x)
 	// §5.3: conflicts involving an aborted transaction can be removed.
 	for w := range x.outConflicts {
+		w.edgeMu.Lock()
 		delete(w.inConflicts, x)
+		w.edgeMu.Unlock()
 	}
 	for r := range x.inConflicts {
+		r.edgeMu.Lock()
 		delete(r.outConflicts, x)
+		r.edgeMu.Unlock()
 	}
+	x.edgeMu.Lock()
 	x.outConflicts = nil
 	x.inConflicts = nil
+	x.edgeMu.Unlock()
 	// Detach safe-snapshot bookkeeping.
 	for rw := range x.possibleUnsafe {
+		rw.edgeMu.Lock()
 		delete(rw.watchingROs, x)
+		rw.edgeMu.Unlock()
 	}
+	x.edgeMu.Lock()
 	x.possibleUnsafe = nil
+	x.edgeMu.Unlock()
 	for ro := range x.watchingROs {
+		ro.edgeMu.Lock()
 		delete(ro.possibleUnsafe, x)
-		if len(ro.possibleUnsafe) == 0 && !ro.unsafe && !ro.safe.Load() {
+		undecided := len(ro.possibleUnsafe) == 0 && !ro.unsafe && !ro.safe.Load()
+		ro.edgeMu.Unlock()
+		if undecided {
 			m.markSafeLocked(ro)
 		}
 	}
+	x.edgeMu.Lock()
 	x.watchingROs = nil
+	x.edgeMu.Unlock()
 	if !x.unsafe && !x.safe.Load() {
 		// Unblock any deferrable waiter; verdict is moot.
 		x.unsafe = true
@@ -232,80 +345,46 @@ func (m *Manager) Abort(x *Xact) {
 			close(x.safeCh)
 		}
 	}
-	delete(m.xacts, x.XID)
-	m.clearOldLocked()
-}
-
-// clearOldLocked is ClearOldPredicateLocks (§6.1): committed transactions
-// whose locks can no longer matter — because no active transaction is
-// concurrent with them — are fully released. Additionally, when only
-// read-only transactions remain active, all committed transactions'
-// SIREAD locks and conflict-in lists are discarded.
-func (m *Manager) clearOldLocked() {
-	minSeq := mvcc.SeqNo(math.MaxUint64)
-	allRO := true
-	for x := range m.active {
-		if x.SnapshotSeq < minSeq {
-			minSeq = x.SnapshotSeq
-		}
-		if !x.declaredRO {
-			allRO = false
-		}
-	}
-
-	for len(m.committed) > 0 && m.committed[0].CommitSeq <= minSeq {
-		c := m.committed[0]
-		m.committed = m.committed[1:]
-		m.dropCommittedLocked(c)
-		m.stats.CleanedXacts++
-	}
-
-	// Dummy (summarized) locks expire on the same condition.
-	m.expireDummyLocksLocked(minSeq)
-
-	if len(m.active) > 0 && allRO && !m.cfg.DisableReadOnlyOpt && !m.roSweepValid {
-		// §6.1: with only read-only transactions active, no future
-		// write can conflict with a committed transaction's reads,
-		// and committed transactions' conflict-in lists can only
-		// matter if an active read/write transaction writes to
-		// something they read — which cannot happen. The sweep is
-		// valid until a read/write transaction begins or commits.
-		for _, c := range m.committed {
-			m.releaseLocksLocked(c)
-			for r := range c.inConflicts {
-				delete(r.outConflicts, c)
-			}
-			c.inConflicts = nil
-		}
-		m.roSweepValid = true
+	m.mu.Unlock()
+	// An abort can be what advances the reclamation horizon (the
+	// aborted transaction may have pinned the oldest epoch).
+	m.retireMu.Lock()
+	hasRetired := len(m.retired) > 0
+	m.retireMu.Unlock()
+	if hasRetired {
+		m.wakeReclaimer()
 	}
 }
 
-// dropCommittedLocked fully releases a committed transaction's state.
+// dropCommittedLocked fully releases a committed transaction's state
+// once no active snapshot can observe it. Caller holds m.mu (the
+// reclaimer); the edge locks are taken per endpoint.
 func (m *Manager) dropCommittedLocked(c *Xact) {
 	m.releaseLocksLocked(c)
 	for w := range c.outConflicts {
+		w.edgeMu.Lock()
 		delete(w.inConflicts, c)
+		w.edgeMu.Unlock()
 	}
 	for r := range c.inConflicts {
+		r.edgeMu.Lock()
 		delete(r.outConflicts, c)
+		r.edgeMu.Unlock()
 	}
+	c.edgeMu.Lock()
 	c.outConflicts = nil
 	c.inConflicts = nil
-	delete(m.xacts, c.XID)
+	c.edgeMu.Unlock()
+	m.dropXact(c)
 }
 
-// summarizeOldestLocked consolidates the oldest tracked committed
-// transaction into the dummy OldCommitted transaction (§6.2): its SIREAD
-// locks move to the dummy (tagged with its commit seq), its earliest
-// out-conflict commit is recorded in the summary table, and its graph
-// edges are replaced by summary flags on the survivors.
-func (m *Manager) summarizeOldestLocked() {
-	if len(m.committed) == 0 {
-		return
-	}
-	c := m.committed[0]
-	m.committed = m.committed[1:]
+// summarizeLocked consolidates a committed transaction (popped from the
+// retire queue by summarizeOnPressure) into the dummy OldCommitted
+// transaction (§6.2): its SIREAD locks move to the dummy (tagged with
+// its commit seq), its earliest out-conflict commit is recorded in the
+// summary table, and its graph edges are replaced by summary flags on
+// the survivors. Caller holds m.mu.
+func (m *Manager) summarizeLocked(c *Xact) {
 	m.stats.Summarized++
 
 	// The summary table: xid → commit seq of the earliest transaction
@@ -328,17 +407,23 @@ func (m *Manager) summarizeOldestLocked() {
 	// Readers of c keep their recorded earliestOutConflictCommit;
 	// writers conflicting with c gain the summary-conflict-in flag.
 	for r := range c.inConflicts {
+		r.edgeMu.Lock()
 		delete(r.outConflicts, c)
+		r.edgeMu.Unlock()
 	}
 	for w := range c.outConflicts {
+		w.edgeMu.Lock()
 		delete(w.inConflicts, c)
 		if !w.committed && !w.aborted {
 			w.summaryConflictIn = true
 		}
+		w.edgeMu.Unlock()
 	}
+	c.edgeMu.Lock()
 	c.outConflicts = nil
 	c.inConflicts = nil
-	delete(m.xacts, c.XID)
+	c.edgeMu.Unlock()
+	m.dropXact(c)
 }
 
 // doomVictimLocked dooms victim, falling back per the safe-retry rules if

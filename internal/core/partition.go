@@ -23,21 +23,55 @@ import (
 //     every lock below nests strictly inside the storage locks. No
 //     code path in this package may call into internal/storage or
 //     otherwise acquire a storage lock.
-//  1. Manager.mu — transaction lifecycle, the rw-antidependency graph,
-//     the committed-transaction FIFO, the summary table, and safe-
-//     snapshot bookkeeping.
-//  2. Xact.lockMu — one transaction's own lock bookkeeping (its lock
+//  1. Manager.mu — the conflict-graph mutex: rw-antidependency
+//     flagging, dangerous-structure traversal, the pre-commit check of
+//     edge-bearing transactions, read-only safety registration and
+//     resolution, the summary table, and reclamation/summarization of
+//     committed state. (Begin and conflict-free commits do NOT take
+//     it; see levels 2a–2c.)
+//  2a. xactShard.mu — one shard of the active-transaction registry
+//     (registry.go). Begin takes only this; mu-holders take shards one
+//     at a time for lookups and scans.
+//  2b. Xact.edgeMu — one transaction's edge lock, guarding its
+//     conflict-edge and safety-watch maps and its lifecycle flags
+//     against the commit fast path. A thread holding Manager.mu may
+//     hold several edge locks at once, in any order (mu serializes all
+//     multi-holders); a thread NOT holding Manager.mu may hold at most
+//     ONE — its own transaction's, on the conflict-free commit fast
+//     path. That single-lock discipline is what makes pair ordering
+//     unnecessary.
+//  2c. Manager.retireMu — the epoch reclaimer's retire queue
+//     (reclaim.go). Leaf with respect to 2a/2b: never held together
+//     with a shard or edge lock. (Whole reclaim passes additionally
+//     serialize on reclaimer.passMu, which sits ABOVE Manager.mu and
+//     is only ever taken with no other lock held.)
+//  3. Xact.lockMu — one transaction's own lock bookkeeping (its lock
 //     set and granularity-promotion counters).
-//  3. lockPartition.mu — one shard of the target → holders table and
+//  4. lockPartition.mu — one shard of the target → holders table and
 //     of the summarized dummy transaction's lock tags.
 //
-// A thread may acquire these only outer-to-inner (mu before lockMu
-// before a partition mutex), holds at most one Xact.lockMu and at most
-// one partition mutex at a time, and never acquires an outer lock
-// while holding an inner one. Cross-partition operations (PageSplit,
-// PromoteRelationLocks, summarization, cleanup) serialize through
-// Manager.mu and then visit partitions one at a time, so they need no
-// ordering among partition mutexes.
+// A thread may acquire these only outer-to-inner, holds at most one
+// Xact.lockMu and at most one partition mutex at a time, and never
+// acquires an outer lock while holding an inner one. The level-2 locks
+// are mutually unordered; a thread holds locks from at most one of 2a,
+// 2b, 2c at a time (the read-only safety scan collects candidates from
+// the shards and the retire queue first, releasing them, and only then
+// takes edge locks). The mvcc.Manager's internal mutex (snapFn/commitFn
+// callbacks) is a leaf that may be entered from under mu or an edge
+// lock. Cross-partition operations (PageSplit, PromoteRelationLocks,
+// summarization, reclamation) serialize through Manager.mu and then
+// visit partitions one at a time, so they need no ordering among
+// partition mutexes.
+//
+// Reclamation epochs: committed transactions are not cleaned up inside
+// commit any more. A transaction pins the epoch of its snapshot in the
+// registry before taking it (Begin's snapshot-ordering step); commits
+// retire into Manager.retired; and the background reclaimer drops a
+// retired transaction's SIREAD locks and edges only once every pinned
+// epoch has passed its commit sequence (reclaim.go). The lock table
+// consequences: a holder found in a partition may be committed (locks
+// outlive commit until the horizon passes, as §5.2 requires), and
+// dummy-lock expiry uses the same horizon.
 //
 // Two invariants keep conflict detection correct without a global
 // lock-table mutex (§5.2.1 with concurrent granularity promotion):

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sync"
+)
+
+// Epoch-based deferred reclamation of committed-transaction state.
+//
+// Commit used to run ClearOldPredicateLocks (§6.1) and summarization
+// (§6.2) inside its critical section: every commit paid an O(active)
+// horizon scan plus a sweep of all lock-table partitions' dummy tags
+// while holding the global SSI mutex. Both now run here, off the commit
+// path. The scheme is a classic epoch reclaimer:
+//
+//   - the global epoch is the MVCC commit-sequence counter;
+//   - a transaction pins the epoch of its snapshot by publishing a
+//     snapshot bound into the registry before the snapshot is taken
+//     (registry.go);
+//   - a committed transaction retires at epoch CommitSeq, entering the
+//     retire queue (Manager.retired, kept sorted by commit seq);
+//   - once the horizon — the minimum pinned epoch — passes a retired
+//     transaction's commit seq, no present or future snapshot can
+//     observe it and its SIREAD locks and graph edges are dropped.
+//
+// The reclaimer goroutine is spawned lazily when a wake finds work and
+// exits as soon as the queue is drained, so an idle Manager holds no
+// goroutine and a quiesced one can be garbage collected. Retirement
+// wakes it every reclaimBatch commits (amortizing the horizon scan)
+// and on any commit that leaves no transaction active; aborts wake it
+// directly because an abort can be what advances the
+// horizon. ReclaimNow runs a synchronous pass for tests and quiesce
+// points. Summarization stays synchronous on overflow pressure
+// (lifecycle.go) — the §6.2 memory bound must hold even if the
+// reclaimer is starved.
+
+// reclaimBatch is how many retirements accumulate between background
+// reclaim passes.
+const reclaimBatch = 64
+
+// reclaimer tracks the lazily-spawned background pass.
+type reclaimer struct {
+	mu      sync.Mutex
+	running bool
+	pending bool
+	// passMu serializes whole reclaim passes: a pass pops retired
+	// entries and then drops their state in separate critical sections,
+	// and without pass-level mutual exclusion ReclaimNow could return
+	// while a concurrent background pass still holds popped entries it
+	// has not dropped yet.
+	passMu sync.Mutex
+}
+
+// wakeReclaimer requests a background pass, spawning the goroutine if
+// none is running.
+func (m *Manager) wakeReclaimer() {
+	r := &m.rec
+	r.mu.Lock()
+	r.pending = true
+	if !r.running {
+		r.running = true
+		go m.reclaimLoop()
+	}
+	r.mu.Unlock()
+}
+
+func (m *Manager) reclaimLoop() {
+	for {
+		r := &m.rec
+		r.mu.Lock()
+		if !r.pending {
+			r.running = false
+			r.mu.Unlock()
+			return
+		}
+		r.pending = false
+		r.mu.Unlock()
+		m.reclaimPass()
+	}
+}
+
+// ReclaimNow runs one synchronous reclamation pass: everything whose
+// epoch has passed the horizon is dropped before it returns. Tests call
+// it at quiesce points; it is also safe to call concurrently with a
+// running background pass.
+func (m *Manager) ReclaimNow() {
+	m.reclaimPass()
+}
+
+// reclaimPass drops every retired transaction no active snapshot can
+// observe, expires dummy locks on the same horizon, and runs the §6.1
+// only-read-only-transactions sweep when it applies.
+//
+// The horizon is computed before taking mu; it can only be stale in the
+// conservative direction (a transaction that commits or aborts during
+// the scan keeps its bound in the minimum, and one that registers after
+// the scan has a bound at or above the scan-time commit seq, so nothing
+// it can observe is below the stale horizon).
+func (m *Manager) reclaimPass() {
+	m.rec.passMu.Lock()
+	defer m.rec.passMu.Unlock()
+
+	minSeq, allRO, nActive := m.epochHorizon()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.retireMu.Lock()
+	cut := 0
+	for cut < len(m.retired) && m.retired[cut].CommitSeq <= minSeq {
+		cut++
+	}
+	reclaim := m.retired[:cut:cut]
+	m.retired = append([]*Xact(nil), m.retired[cut:]...)
+	m.retireMu.Unlock()
+
+	for _, c := range reclaim {
+		m.dropCommittedLocked(c)
+		m.stats.CleanedXacts++
+	}
+	m.expireDummyLocksLocked(minSeq)
+
+	// The all-read-only gate must be recomputed now that m.mu is held:
+	// the horizon scan above ran before it, and a read/write
+	// transaction could have begun AND committed (fast path, no m.mu)
+	// in between — retiring into the queue this sweep is about to
+	// strip while a transaction concurrent with it is still active.
+	// Rechecking under m.mu closes that: any read/write transaction
+	// active now flips allRO off, one that begins after this recheck
+	// has (by the bound protocol) a snapshot at or above every commit
+	// currently retired, and it cannot write before the sweep ends —
+	// CheckWrite needs m.mu.
+	_, allRO, nActive = m.epochHorizon()
+	if nActive > 0 && allRO && !m.cfg.DisableReadOnlyOpt && !m.roSweepValid.Load() {
+		// §6.1: with only read-only transactions active, no future write
+		// can conflict with a committed transaction's reads, and a
+		// committed transaction's conflict-in list can only matter if an
+		// active read/write transaction writes something it read — which
+		// cannot happen. The sweep stays valid until a read/write
+		// transaction begins or commits (roSweepValid is cleared there).
+		m.retireMu.Lock()
+		swept := append([]*Xact(nil), m.retired...)
+		m.retireMu.Unlock()
+		for _, c := range swept {
+			m.releaseLocksLocked(c)
+			for r := range c.inConflicts {
+				r.edgeMu.Lock()
+				delete(r.outConflicts, c)
+				r.edgeMu.Unlock()
+			}
+			c.edgeMu.Lock()
+			c.inConflicts = nil
+			c.edgeMu.Unlock()
+		}
+		m.roSweepValid.Store(true)
+	}
+}
+
+// retire inserts a committed transaction into the retire queue, keeping
+// it sorted by commit sequence (commits arrive nearly in order, so the
+// insertion point is almost always the tail). It returns the queue
+// length so callers can apply pressure policies. Retirement happens
+// BEFORE the transaction leaves the registry's active set: at every
+// instant a serializable transaction is findable in the active set or
+// the retire queue (or both), which the read-only safety scan relies on.
+func (m *Manager) retire(x *Xact) int {
+	m.retireMu.Lock()
+	i := len(m.retired)
+	for i > 0 && m.retired[i-1].CommitSeq > x.CommitSeq {
+		i--
+	}
+	m.retired = append(m.retired, nil)
+	copy(m.retired[i+1:], m.retired[i:])
+	m.retired[i] = x
+	n := len(m.retired)
+	m.retireMu.Unlock()
+	return n
+}
+
+// afterCommit runs a committed transaction's deferred lifecycle work,
+// outside every lock: retire-queue pressure handling and reclaimer
+// wake-ups. Besides the batch wake, a commit that leaves the system
+// quiescent (no active transaction) always wakes the reclaimer —
+// otherwise a burst of fewer than reclaimBatch commits followed by
+// idleness would retain its transactions, SIREAD locks, and expired
+// dummy locks indefinitely.
+func (m *Manager) afterCommit(retiredLen int) {
+	if retiredLen > m.cfg.MaxCommittedXacts {
+		m.summarizeOnPressure()
+		return
+	}
+	if retiredLen%reclaimBatch == 0 || m.activeCount.Load() == 0 {
+		m.wakeReclaimer()
+	}
+}
+
+// summarizeOnPressure enforces the §6.2 memory bound synchronously: it
+// first reclaims whatever the horizon already allows (mirroring the old
+// cleanup-then-summarize order, so reclaimable transactions are not
+// needlessly summarized), then folds the oldest retired transactions
+// into the dummy OldCommitted transaction until the queue is back
+// within budget.
+func (m *Manager) summarizeOnPressure() {
+	m.reclaimPass()
+	// The victims are dequeued under m.mu (not just retireMu): the
+	// read-only safety scan relies on every committed transaction
+	// being findable in the active set, the retire queue, or the
+	// summary table while it holds m.mu, so a transaction must not sit
+	// dequeued-but-unsummarized outside that mutex.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retireMu.Lock()
+	over := len(m.retired) - m.cfg.MaxCommittedXacts
+	var victims []*Xact
+	if over > 0 {
+		victims = m.retired[:over:over]
+		m.retired = append([]*Xact(nil), m.retired[over:]...)
+	}
+	m.retireMu.Unlock()
+	for _, c := range victims {
+		m.summarizeLocked(c)
+	}
+}

@@ -107,20 +107,29 @@ func TestPartitionedLockTableStress(t *testing.T) {
 			close(stop)
 			structWG.Wait()
 
-			// Quiesced: no transaction is active, so cleanup must have
-			// dropped all tracked state, and the gauge must agree with a
+			// Quiesced: no transaction is active, so a reclaim pass must
+			// drop all tracked state, and the gauge must agree with a
 			// real count of the table (LockCount walks the partitions).
-			if n := h.mgr.TrackedXacts(); n != 0 {
-				t.Fatalf("tracked xacts after quiesce = %d, want 0", n)
-			}
-			real := h.mgr.LockCount()
-			if gauge := int(h.mgr.Stats().LocksCurrent); real != gauge {
-				t.Fatalf("lock table count %d disagrees with LocksCurrent gauge %d", real, gauge)
-			}
-			if real != 0 {
-				t.Fatalf("locks leaked after quiesce: %d", real)
-			}
+			assertQuiesced(t, h)
 		})
+	}
+}
+
+// assertQuiesced runs a synchronous reclaim pass and asserts that no
+// transaction state survives: nothing tracked, no locks in the table,
+// and the LocksCurrent gauge agreeing with a real count.
+func assertQuiesced(t *testing.T, h *harness) {
+	t.Helper()
+	h.mgr.ReclaimNow()
+	if n := h.mgr.TrackedXacts(); n != 0 {
+		t.Fatalf("tracked xacts after quiesce = %d, want 0", n)
+	}
+	real := h.mgr.LockCount()
+	if gauge := int(h.mgr.Stats().LocksCurrent); real != gauge {
+		t.Fatalf("lock table count %d disagrees with LocksCurrent gauge %d", real, gauge)
+	}
+	if real != 0 {
+		t.Fatalf("locks leaked after quiesce: %d", real)
 	}
 }
 
@@ -229,16 +238,7 @@ func TestCheckReadBatchStress(t *testing.T) {
 	close(stop)
 	structWG.Wait()
 
-	if n := h.mgr.TrackedXacts(); n != 0 {
-		t.Fatalf("tracked xacts after quiesce = %d, want 0", n)
-	}
-	real := h.mgr.LockCount()
-	if gauge := int(h.mgr.Stats().LocksCurrent); real != gauge {
-		t.Fatalf("lock table count %d disagrees with LocksCurrent gauge %d", real, gauge)
-	}
-	if real != 0 {
-		t.Fatalf("locks leaked after quiesce: %d", real)
-	}
+	assertQuiesced(t, h)
 }
 
 // TestTwoPhaseCommitStress races the §7.1 two-phase path against
@@ -320,16 +320,7 @@ func TestTwoPhaseCommitStress(t *testing.T) {
 	}
 	wg.Wait()
 
-	if n := h.mgr.TrackedXacts(); n != 0 {
-		t.Fatalf("tracked xacts after quiesce = %d, want 0", n)
-	}
-	real := h.mgr.LockCount()
-	if gauge := int(h.mgr.Stats().LocksCurrent); real != gauge {
-		t.Fatalf("lock table count %d disagrees with LocksCurrent gauge %d", real, gauge)
-	}
-	if real != 0 {
-		t.Fatalf("locks leaked after quiesce: %d", real)
-	}
+	assertQuiesced(t, h)
 }
 
 // TestConcurrentPromotionVsWriteCheck hammers the specific §5.2.1
@@ -385,5 +376,113 @@ func TestConcurrentPromotionVsWriteCheck(t *testing.T) {
 		}
 		h.abort(r)
 		h.abort(w)
+	}
+}
+
+// TestLifecycleReclaimStress is -race coverage for the epoch-based
+// lifecycle: background reclaim passes (the natural batch wakes plus a
+// ReclaimNow hammer) race pressure summarization, late CheckWrite
+// probes against summarized dummy locks, commits on both the edge-lock
+// fast path and the conflict-graph slow path, and Abort. A tiny
+// MaxCommittedXacts forces constant summarization, and a pin
+// transaction holds the reclamation horizon for each wave so retired
+// state piles up and must be summarized rather than reclaimed. Each
+// wave ends at a quiesce point where the lock table, the LocksCurrent
+// gauge, the registry, and the summary table are asserted consistent;
+// the stats accessors are also hammered mid-run so -race sees every
+// reader/writer pairing.
+func TestLifecycleReclaimStress(t *testing.T) {
+	h := newHarness(t, Config{
+		Partitions:         8,
+		MaxCommittedXacts:  4,
+		PromoteTupleToPage: 3,
+	})
+	const (
+		waves      = 3
+		workers    = 8
+		txnsPerWkr = 80
+	)
+	for wave := 0; wave < waves; wave++ {
+		// The pin's snapshot predates every commit in this wave, so
+		// nothing the wave retires can be reclaimed until it aborts —
+		// overflow must go through summarization.
+		pin := h.begin(false)
+		if err := h.mgr.CheckRead(pin, "t", 0, "pin", nil, false); err != nil {
+			t.Fatal(err)
+		}
+
+		stop := make(chan struct{})
+		var hammerWG sync.WaitGroup
+		hammerWG.Add(1)
+		go func() {
+			defer hammerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.mgr.ReclaimNow()
+				_ = h.mgr.LockCount()
+				_ = h.mgr.TrackedXacts()
+				_ = h.mgr.SummaryTableSize()
+				_ = h.mgr.Stats()
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(seed, uint64(wave)+1))
+				for i := 0; i < txnsPerWkr; i++ {
+					x := h.begin(false)
+					failed := false
+					for j := 0; j < 4 && !failed; j++ {
+						page := int64(rng.IntN(4))
+						key := strconv.Itoa(rng.IntN(8))
+						if err := h.mgr.CheckRead(x, "t", page, key, nil, false); err != nil {
+							failed = true
+							break
+						}
+						if rng.IntN(3) == 0 {
+							// Late write probes: many of these targets'
+							// SIREAD holders have been summarized, so
+							// the probe hits the dummy transaction's
+							// locks and the summary-conflict-in path.
+							if err := h.mgr.CheckWrite(x, "t", page, key); err != nil {
+								failed = true
+								break
+							}
+						}
+					}
+					if failed || rng.IntN(10) == 0 {
+						h.abort(x)
+						continue
+					}
+					if err := h.commit(x); err != nil && !errors.Is(err, ErrSerializationFailure) {
+						t.Errorf("commit: %v", err)
+						return
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		h.abort(pin)
+		close(stop)
+		hammerWG.Wait()
+
+		// Wave quiesce: everything reclaimable must reclaim, the gauge
+		// must match a real count, and every summarization must have
+		// left exactly one summary-table entry.
+		assertQuiesced(t, h)
+		st := h.mgr.Stats()
+		if n := int64(h.mgr.SummaryTableSize()); n != st.Summarized {
+			t.Fatalf("summary table has %d entries but %d transactions were summarized", n, st.Summarized)
+		}
+		if st.Summarized == 0 {
+			t.Fatal("pressure summarization never ran; the stress lost its teeth")
+		}
 	}
 }

@@ -36,7 +36,12 @@ func (m *Manager) Prepare(x *Xact) (PreparedState, error) {
 	if err := m.preCommitCheckLocked(x); err != nil {
 		return PreparedState{}, err
 	}
+	// The prepared flag is read by conflict flaggers under the edge
+	// lock (it disqualifies the commit fast path and changes victim
+	// selection), so it is written under it too.
+	x.edgeMu.Lock()
 	x.prepared = true
+	x.edgeMu.Unlock()
 	x.lockMu.Lock()
 	st := PreparedState{XID: x.XID, Locks: make([]Target, 0, len(x.locks))}
 	for t := range x.locks {
@@ -52,12 +57,14 @@ func (m *Manager) Prepare(x *Xact) (PreparedState, error) {
 // prepared transaction is guaranteed to be committable.
 func (m *Manager) CommitPrepared(x *Xact, commitFn func() mvcc.SeqNo) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if !x.prepared {
+		m.mu.Unlock()
 		return ErrNotPrepared
 	}
 	seq := commitFn()
-	m.finishCommitLocked(x, seq)
+	n := m.finishCommitLocked(x, seq)
+	m.mu.Unlock()
+	m.afterCommit(n)
 	return nil
 }
 
@@ -91,8 +98,8 @@ func (m *Manager) RecoverPrepared(st PreparedState, snapshotSeq mvcc.SeqNo) *Xac
 	}
 	x.summaryConflictIn = true
 	x.earliestOutConflictCommit = 1
-	m.xacts[st.XID] = x
-	m.active[x] = struct{}{}
+	x.snapshotBound.Store(uint64(snapshotSeq))
+	m.registerXact(x)
 	x.lockMu.Lock()
 	for _, t := range st.Locks {
 		m.insertLockXLocked(x, t)

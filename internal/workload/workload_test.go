@@ -212,3 +212,23 @@ func TestPercentile(t *testing.T) {
 		t.Fatalf("empty percentile = %v, want 0", p)
 	}
 }
+
+func TestLifecycleMixRunsEmptyTransactions(t *testing.T) {
+	m := LifecycleMix(0.25)
+	if f := m.ReadOnlyFraction(); f < 0.24 || f > 0.26 {
+		t.Fatalf("read-only fraction = %v, want 0.25", f)
+	}
+	db := pgssi.Open(pgssi.Config{})
+	res := RunClosedLoop(db, m, RunOptions{
+		Level: pgssi.Serializable, Workers: 4, Duration: 50 * time.Millisecond, Seed: 99,
+	})
+	if res.Errors > 0 {
+		t.Fatalf("%d hard errors from empty lifecycle transactions", res.Errors)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no lifecycle transactions committed")
+	}
+	if res.Aborted > 0 {
+		t.Fatalf("empty transactions can never conflict, got %d serialization failures", res.Aborted)
+	}
+}
