@@ -1,0 +1,216 @@
+package pgssi_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"pgssi"
+)
+
+// Tests in this file drive the CSN commit-publication window with a
+// deterministic interleaving harness, in the style of the read-vs-write
+// window tests in interleaving_test.go. A commit (internal/mvcc) must
+// assign its CSN and publish (xid → CSN) into the commit log as one
+// atomic step for snapshotters; the fence is that both happen inside the
+// commit-log shard's critical section, which every visibility lookup
+// serializes behind. The Config.OnCSNPublish hook parks a chosen
+// committer at the window (fenced: immediately before the atomic step;
+// ablated: between assignment and publication), so the tests can:
+//
+//   - prove the fence: a transaction snapshotting inside the window
+//     sees the in-flight commit fully or not at all — here, not at all,
+//     for both keys the committer wrote, before AND after publication;
+//   - reproduce the torn snapshot with the fence ablated
+//     (Config.DisableCSNFencing): the same reader observes k1 from
+//     before the commit and k2 from after it — a fractured read no
+//     serial order explains.
+//
+// Both transactions run at RepeatableRead: snapshot atomicity is an
+// MVCC-level contract, and at this level neither side takes SSI edge
+// locks, so the parked committer cannot entangle the reader. (SSI would
+// not mask the anomaly either — a torn read is a wr-dependency, which
+// SIREAD tracking does not see.)
+
+// csnPauser arms a one-shot pause in the OnCSNPublish hook.
+type csnPauser struct {
+	armed    atomic.Bool
+	inWindow chan struct{}
+	release  chan struct{}
+}
+
+func newCSNPauser() *csnPauser {
+	return &csnPauser{inWindow: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (p *csnPauser) hook(_, _ uint64) {
+	if p.armed.CompareAndSwap(true, false) {
+		close(p.inWindow)
+		<-p.release
+	}
+}
+
+// csnWindowDB builds a two-row database and returns it with the pauser
+// wired into cfg.
+func csnWindowDB(t *testing.T, cfg pgssi.Config) (*pgssi.DB, *csnPauser) {
+	t.Helper()
+	p := newCSNPauser()
+	cfg.OnCSNPublish = p.hook
+	db := pgssi.Open(cfg)
+	if err := db.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	seed, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, seed.Insert("t", "k1", []byte("old1")))
+	mustExec(t, seed.Insert("t", "k2", []byte("old2")))
+	mustExec(t, seed.Commit())
+	return db, p
+}
+
+// parkCommitInWindow starts a transaction that updates both keys and
+// parks its commit at the assignment→publication window. It returns a
+// channel closed when the commit completes.
+func parkCommitInWindow(t *testing.T, db *pgssi.DB, p *csnPauser) chan struct{} {
+	t.Helper()
+	w, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, w.Update("t", "k1", []byte("new1")))
+	mustExec(t, w.Update("t", "k2", []byte("new2")))
+	p.armed.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := w.Commit(); err != nil {
+			t.Errorf("writer commit: %v", err)
+		}
+	}()
+	<-p.inWindow
+	return done
+}
+
+func mustGetString(t *testing.T, tx *pgssi.Tx, key string) string {
+	t.Helper()
+	v, err := tx.Get("t", key)
+	if err != nil {
+		t.Fatalf("get %q: %v", key, err)
+	}
+	return string(v)
+}
+
+// TestCSNWindowFencedAllOrNothing: with the fence in place, a reader
+// snapshotting inside the publication window includes the commit not at
+// all — both keys read the old values, and re-reading after the commit
+// publishes changes nothing, because the snapshot's CSN predates the
+// commit's. A fresh snapshot then sees both new values.
+func TestCSNWindowFencedAllOrNothing(t *testing.T) {
+	db, p := csnWindowDB(t, pgssi.Config{})
+	done := parkCommitInWindow(t, db, p)
+
+	r, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustGetString(t, r, "k1"); got != "old1" {
+		t.Fatalf("in-window read of k1 = %q, want old1", got)
+	}
+	close(p.release)
+	<-done
+	// Same snapshot, after publication: still nothing of the commit.
+	if got := mustGetString(t, r, "k2"); got != "old2" {
+		t.Fatalf("fenced snapshot saw the commit partially: k2 = %q, want old2", got)
+	}
+	if got := mustGetString(t, r, "k1"); got != "old1" {
+		t.Fatalf("fenced snapshot changed its mind: k1 = %q, want old1", got)
+	}
+	mustExec(t, r.Commit())
+
+	r2, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1, g2 := mustGetString(t, r2, "k1"), mustGetString(t, r2, "k2"); g1 != "new1" || g2 != "new2" {
+		t.Fatalf("post-commit snapshot = {%q, %q}, want both new", g1, g2)
+	}
+	mustExec(t, r2.Commit())
+}
+
+// TestCSNWindowTornReadWithFencingDisabled is the ablation: with
+// DisableCSNFencing, the CSN is assigned outside the publication
+// critical section, so a reader snapshotting inside the window carries
+// a CSN that covers the in-flight commit before the commit log can
+// resolve it. Reading k1
+// before publication and k2 after yields old1/new2 from one snapshot —
+// the fractured read the fence forbids. The same schedule with the
+// fence (the test above) reads old1/old2.
+func TestCSNWindowTornReadWithFencingDisabled(t *testing.T) {
+	db, p := csnWindowDB(t, pgssi.Config{DisableCSNFencing: true})
+	done := parkCommitInWindow(t, db, p)
+
+	r, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before publication the commit log still says in-progress: the
+	// writer's versions are skipped.
+	if got := mustGetString(t, r, "k1"); got != "old1" {
+		t.Fatalf("in-window read of k1 = %q, want old1", got)
+	}
+	close(p.release)
+	<-done
+	// After publication the same snapshot's CSN covers the commit: the
+	// lookup now resolves it visible. Torn.
+	got2 := mustGetString(t, r, "k2")
+	if got2 != "new2" {
+		t.Fatalf("ablation lost the race shape: k2 = %q, want new2 (torn read)", got2)
+	}
+	// And k1, re-read, flips too — the snapshot is not a snapshot.
+	if got1 := mustGetString(t, r, "k1"); got1 != "new1" {
+		t.Fatalf("re-read of k1 = %q, want new1 under the ablation", got1)
+	}
+	mustExec(t, r.Commit())
+}
+
+// TestVacuumTruncatesCommitLogWithoutSerializable pins Vacuum's role as
+// the level-independent commit-log truncation trigger: the epoch
+// reclaimer only runs for serializable workloads, so a process using
+// only weaker levels relies on Vacuum to keep the log bounded.
+func TestVacuumTruncatesCommitLogWithoutSerializable(t *testing.T) {
+	db := pgssi.Open(pgssi.Config{})
+	if err := db.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		tx, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, tx.Insert("t", fmt.Sprintf("k%03d", i), []byte("v")))
+		mustExec(t, tx.Commit())
+	}
+	before := db.CommitLogSize()
+	if before < 300 {
+		t.Fatalf("commit log holds %d entries before vacuum, want >= 300", before)
+	}
+	db.Vacuum()
+	// Everything is finished: only Vacuum's own pin transaction (its
+	// record and aborted tombstone survive this pass — the pin was
+	// still active when the floor was computed) may remain.
+	if after := db.CommitLogSize(); after > 2 {
+		t.Fatalf("commit log holds %d entries after vacuum, want <= 2", after)
+	}
+	// The rows are all live and still readable through the truncated
+	// region of the log.
+	tx, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustGetString(t, tx, "k000"); got != "v" {
+		t.Fatalf("k000 = %q after truncation, want v", got)
+	}
+	mustExec(t, tx.Commit())
+}

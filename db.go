@@ -138,6 +138,33 @@ type Config struct {
 	// DisableLifecycleFencing). Test-only interleaving hook.
 	OnPreCommit func(xid uint64)
 
+	// DisableCSNSnapshots selects the legacy xmin/xmax/in-progress-set
+	// MVCC snapshot representation instead of the default CSN scheme:
+	// every TakeSnapshot copies the active-transaction set under a
+	// global mutex that Begin/Commit/Abort serialize on, where a CSN
+	// snapshot is a single atomic counter read (see internal/mvcc).
+	// Ablation knob for A/B benchmarking; semantics are identical.
+	DisableCSNSnapshots bool
+	// DisableCSNFencing reopens the window between a commit's CSN
+	// assignment and its commit-log publication, which the CSN scheme
+	// normally fences into one atomic step (see internal/mvcc).
+	// Test-only ablation: with it set, a snapshot taken inside the
+	// window can see that commit partially (torn snapshot). Never set
+	// it in production.
+	DisableCSNFencing bool
+	// OnCSNPublish, if non-nil, is invoked during every commit at the
+	// CSN assignment→publication window (CSN snapshot mode only; never
+	// called with DisableCSNSnapshots). Fenced, the window is
+	// degenerate: the hook runs immediately before the atomic
+	// assignment+publication step and seq is 0 — no CSN exists yet.
+	// With DisableCSNFencing it runs inside the reopened window and seq
+	// is the assigned CSN. Test-only interleaving hook used by the
+	// CSN-window harness.
+	OnCSNPublish func(xid, seq uint64)
+	// CommitLogPartitions is the number of hash shards in the MVCC
+	// commit log. Rounded up to a power of two; defaults to 64.
+	CommitLogPartitions int
+
 	// LatchPartitions is the number of shards in each table's per-page
 	// read latch table (the engine's analogue of PostgreSQL's buffer
 	// content lock for SSI; see internal/storage/latch.go). Rounded up
@@ -164,6 +191,18 @@ func (c Config) storageConfig() storage.Config {
 		DisableReadLatch: c.DisableReadLatch,
 		Hooks:            storage.Hooks{OnRead: c.OnRead},
 	}
+}
+
+func (c Config) mvccConfig() mvcc.Config {
+	cfg := mvcc.Config{
+		DisableCSNSnapshots: c.DisableCSNSnapshots,
+		DisableCSNFencing:   c.DisableCSNFencing,
+		LogPartitions:       c.CommitLogPartitions,
+	}
+	if h := c.OnCSNPublish; h != nil {
+		cfg.OnCSNPublish = func(xid mvcc.TxID, seq mvcc.SeqNo) { h(uint64(xid), uint64(seq)) }
+	}
+	return cfg
 }
 
 func (c Config) ssiConfig() core.Config {
@@ -229,7 +268,7 @@ type DB struct {
 
 // Open creates an empty database.
 func Open(cfg Config) *DB {
-	m := mvcc.NewManager()
+	m := mvcc.New(cfg.mvccConfig())
 	return &DB{
 		cfg:      cfg,
 		mvcc:     m,
@@ -317,6 +356,11 @@ func (db *DB) S2PLStats() s2pl.Stats { return db.s2pl.Stats() }
 // ActiveTransactions returns the number of in-progress transactions.
 func (db *DB) ActiveTransactions() int { return db.mvcc.ActiveCount() }
 
+// CommitLogSize returns the number of entries currently retained in the
+// MVCC commit log (observability: bounded by the epoch reclaimer's
+// background truncation and, for non-serializable workloads, by Vacuum).
+func (db *DB) CommitLogSize() int { return db.mvcc.LogSize() }
+
 // AttachWAL directs commit records (and safe-snapshot markers) to log,
 // enabling log-shipping replication (§7.2).
 func (db *DB) AttachWAL(log *wal.Log) {
@@ -352,9 +396,22 @@ func (db *DB) RunTx(opts TxOptions, fn func(tx *Tx) error) error {
 }
 
 // Vacuum removes dead tuple versions no longer visible to any possible
-// snapshot and prunes fully-dead keys from primary indexes.
+// snapshot, prunes fully-dead keys from primary indexes, and drops
+// aborted commit-log tombstones the sweep has orphaned.
+//
+// The horizon snapshot is pinned by a throwaway transaction for the
+// duration of the sweep: a standalone snapshot would otherwise race the
+// epoch reclaimer's commit-log truncation (internal/mvcc AutoTruncate),
+// which is only safe with respect to snapshots held by active
+// transactions.
 func (db *DB) Vacuum() int {
+	pin := db.mvcc.Begin()
+	defer db.mvcc.Abort(pin)
 	horizon := db.mvcc.TakeSnapshot()
+	// Aborted xids below the oldest transaction active now cannot gain
+	// new heap references; after the sweep prunes every chain, their
+	// commit-log tombstones are unreachable and can be dropped.
+	abortedFloor := db.mvcc.OldestActiveXID()
 	removed := 0
 	db.mu.RLock()
 	tables := make([]*tableInfo, 0, len(db.tables))
@@ -365,5 +422,11 @@ func (db *DB) Vacuum() int {
 	for _, ti := range tables {
 		removed += ti.heap.Vacuum(horizon, db.mvcc)
 	}
+	db.mvcc.DropAbortedBelow(abortedFloor)
+	// Advance the commit-log truncation floor here too: the epoch
+	// reclaimer only runs for serializable workloads, so Vacuum is the
+	// level-independent trigger that keeps the log bounded for
+	// RepeatableRead/ReadCommitted/S2PL-only processes.
+	db.mvcc.AutoTruncate()
 	return removed
 }

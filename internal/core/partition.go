@@ -56,9 +56,14 @@ import (
 // are mutually unordered; a thread holds locks from at most one of 2a,
 // 2b, 2c at a time (the read-only safety scan collects candidates from
 // the shards and the retire queue first, releasing them, and only then
-// takes edge locks). The mvcc.Manager's internal mutex (snapFn/commitFn
-// callbacks) is a leaf that may be entered from under mu or an edge
-// lock. Cross-partition operations (PageSplit, PromoteRelationLocks,
+// takes edge locks). The mvcc.Manager's locks (entered via snapFn /
+// commitFn callbacks and via fate lookups) are leaves that may be taken
+// from under mu or an edge lock: a commit-log shard RWMutex (one at a
+// time; CSN assignment and commit-log publication share one shard
+// critical section, so a fate lookup can at worst block momentarily on
+// a mid-publication commit), the truncation mutex, and — legacy
+// snapshot mode only — the mvcc global mutex.
+// Cross-partition operations (PageSplit, PromoteRelationLocks,
 // summarization, reclamation) serialize through Manager.mu and then
 // visit partitions one at a time, so they need no ordering among
 // partition mutexes.
@@ -72,6 +77,17 @@ import (
 // consequences: a holder found in a partition may be committed (locks
 // outlive commit until the horizon passes, as §5.2 requires), and
 // dummy-lock expiry uses the same horizon.
+//
+// Snapshot-vs-reclaimer epoch rule for the MVCC commit log: the same
+// reclaimer pass also truncates the commit log (mvcc.AutoTruncate), but
+// against mvcc's OWN horizon — the minimum begin-time published CSN
+// over all active MVCC transactions at every isolation level, not this
+// package's registry horizon, which covers only serializable
+// transactions. A committed xid is truncated only once every present or
+// future snapshot resolves it visible; snapshots not pinned by an
+// active MVCC transaction (DB.Vacuum's horizon) must create one for the
+// duration of use. Aborted xids survive truncation as tombstones until
+// the heap is vacuumed clean of them (mvcc.DropAbortedBelow).
 //
 // Two invariants keep conflict detection correct without a global
 // lock-table mutex (§5.2.1 with concurrent granularity promotion):

@@ -87,8 +87,12 @@ func (m *Manager) ReclaimNow() {
 }
 
 // reclaimPass drops every retired transaction no active snapshot can
-// observe, expires dummy locks on the same horizon, and runs the §6.1
-// only-read-only-transactions sweep when it applies.
+// observe, expires dummy locks on the same horizon, runs the §6.1
+// only-read-only-transactions sweep when it applies, and then advances
+// the MVCC commit-log truncation floor (the clog analogue of this
+// reclamation: internal/mvcc AutoTruncate computes its own horizon over
+// *all* MVCC transactions, not just serializable ones, so weaker-level
+// snapshots are safe too).
 //
 // The horizon is computed before taking mu; it can only be stale in the
 // conservative direction (a transaction that commits or aborts during
@@ -96,6 +100,13 @@ func (m *Manager) ReclaimNow() {
 // the scan has a bound at or above the scan-time commit seq, so nothing
 // it can observe is below the stale horizon).
 func (m *Manager) reclaimPass() {
+	m.reclaimGraphPass()
+	// Outside every SSI lock: AutoTruncate takes only mvcc-internal
+	// (leaf) locks, but there is no reason to hold m.mu across it.
+	m.mvcc.AutoTruncate()
+}
+
+func (m *Manager) reclaimGraphPass() {
 	m.rec.passMu.Lock()
 	defer m.rec.passMu.Unlock()
 

@@ -1,19 +1,65 @@
 // Package mvcc implements the multiversion concurrency control substrate
 // that PostgreSQL's SSI implementation builds on: transaction identifiers,
-// PostgreSQL-style snapshots (xmin / xmax / in-progress set), a commit log
-// recording the fate of every transaction, and monotonically increasing
-// commit sequence numbers.
+// snapshots, a commit log recording the fate of every transaction, and
+// monotonically increasing commit sequence numbers (CSNs).
 //
 // Commit sequence numbers are central to the SSI machinery in
 // internal/core: the commit-ordering optimization (§3.3.1 of the paper)
 // and the read-only snapshot ordering rule (§4.1) both compare the order
 // in which transactions committed, and safe-snapshot detection compares a
 // transaction's commit against another's snapshot time.
+//
+// # Snapshot representations
+//
+// The default snapshot is CSN-based, the direction PostgreSQL's own
+// CSN-snapshot work takes to shrink ProcArrayLock: a snapshot is nothing
+// but the value of the commit-sequence counter at the instant it was
+// taken, and "xid is visible" means "xid's commit CSN is known and <= the
+// snapshot CSN" — a lookup in a sharded commit log. Taking a snapshot is
+// a single atomic load; Begin and Commit touch only one commit-log shard
+// plus a handful of atomics; no global mutex exists on any lifecycle
+// path.
+//
+// Commit makes CSN assignment and commit-log publication one atomic step
+// for snapshotters by performing both inside the commit-log shard's
+// critical section: a commit locks its shard, increments the CSN counter,
+// and writes (xid → CSN, committed) before unlocking. A snapshot is a
+// plain atomic read of the counter; if it reads a CSN at or above some
+// commit's, that commit's counter increment already happened inside the
+// committer's critical section, so any subsequent commit-log lookup —
+// which takes the shard's read lock — serializes behind the publication
+// and resolves the commit. A reader can at worst block momentarily on the
+// shard of a mid-publication commit; it can never observe the
+// assigned-but-unpublished state. Config.DisableCSNFencing (test-only)
+// moves the CSN increment out of the critical section, reopening the
+// assignment→publication window; Config.OnCSNPublish parks a committer
+// deterministically at the window's location (degenerate when fenced).
+//
+// The legacy xmin/xmax/in-progress-set representation is kept behind
+// Config.DisableCSNSnapshots for ablation and A/B benchmarking: there,
+// TakeSnapshot copies the whole active set (O(active)) under a global
+// reader/writer mutex that every Begin/Commit/Abort takes exclusively.
+//
+// # Commit-log truncation
+//
+// The log is truncated in integration with the engine's epoch reclaimer
+// (internal/core/reclaim.go), which calls AutoTruncate on its background
+// passes. A committed entry may be dropped once (a) its xid is below
+// every active transaction's xid and (b) its commit CSN is at or below
+// every active transaction's begin-time published CSN — then every
+// present or future snapshot already includes it, and Status/Sees resolve
+// absent xids below the floor as "committed long ago". Aborted entries
+// are kept as tombstones (an aborted xid must never resolve committed
+// while a heap version stamped with it could still be read); the engine's
+// Vacuum drops them with DropAbortedBelow once the heap holds no trace of
+// them. Callers that take standalone snapshots must pin them with an
+// active transaction for the duration of use, as DB.Vacuum does.
 package mvcc
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // TxID identifies a transaction. The zero value is invalid (never
@@ -23,9 +69,10 @@ type TxID uint64
 // InvalidTxID is the zero, never-assigned transaction ID.
 const InvalidTxID TxID = 0
 
-// SeqNo is a commit sequence number. Sequence numbers are assigned from a
-// single counter at commit time, so comparing two SeqNos orders the
-// commits. The zero value means "not committed" / "no sequence number".
+// SeqNo is a commit sequence number (CSN). Sequence numbers are assigned
+// from a single counter at commit time, so comparing two SeqNos orders
+// the commits. The zero value means "not committed" / "no sequence
+// number".
 type SeqNo uint64
 
 // InvalidSeqNo is the zero, never-assigned commit sequence number.
@@ -55,35 +102,88 @@ func (s Status) String() string {
 	}
 }
 
-// Snapshot is a consistent view of the database, represented (as in
-// PostgreSQL) by the set of transactions whose effects are visible.
-// A transaction xid's effects are visible to the snapshot iff
-//
-//	xid < Xmax, xid not in InProgress, and xid committed.
-//
-// Transactions that commit after the snapshot was taken are either in the
-// InProgress set or have xid >= Xmax, so the snapshot never sees them.
+// Config tunes a Manager. The zero value is the production configuration:
+// CSN snapshots, fencing on, 64 commit-log shards.
+type Config struct {
+	// DisableCSNSnapshots selects the legacy xmin/xmax/in-progress-set
+	// snapshot representation: TakeSnapshot copies the active set under
+	// a global mutex that every lifecycle operation serializes on.
+	// Ablation / A-B benchmarking knob.
+	DisableCSNSnapshots bool
+	// DisableCSNFencing (test-only, CSN mode) moves a commit's CSN
+	// assignment out of the shard critical section that publishes the
+	// commit-log record, reopening the window between the two: a
+	// snapshot taken in the window carries a CSN covering the commit but
+	// can resolve it first as in-progress and later as committed — a
+	// torn snapshot. Never set it in production.
+	DisableCSNFencing bool
+	// OnCSNPublish, if non-nil, is invoked during Commit at the
+	// assignment→publication window, with no Manager lock held: under
+	// DisableCSNFencing between the CSN assignment and the commit-log
+	// publication (seq is the assigned CSN); fenced, immediately before
+	// the atomic assignment+publication step (the window is degenerate
+	// and seq is InvalidSeqNo — no CSN exists yet). Test-only
+	// interleaving hook (CSN mode); it must not call back into lifecycle
+	// methods of the same Manager.
+	OnCSNPublish func(xid TxID, seq SeqNo)
+	// LogPartitions is the number of hash shards in the commit log.
+	// Rounded up to a power of two; defaults to 64.
+	LogPartitions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LogPartitions <= 0 {
+		c.LogPartitions = 64
+	}
+	n := 1
+	for n < c.LogPartitions {
+		n <<= 1
+	}
+	c.LogPartitions = n
+	return c
+}
+
+// Snapshot is a consistent view of the database. In the default CSN
+// representation it is just the published commit-sequence counter value
+// at the instant it was taken (SeqNo); visibility is resolved against the
+// Manager's commit log. In the legacy representation it carries, as in
+// pre-CSN PostgreSQL, the set of transactions whose effects are visible:
+// a transaction xid's effects are visible iff xid < Xmax, xid not in
+// InProgress, and xid committed. Under both representations,
+// transactions that commit after the snapshot was taken are never seen.
 type Snapshot struct {
 	// Xmin is the lowest transaction ID that was active when the
-	// snapshot was taken. Every committed xid < Xmin is visible
-	// without consulting InProgress.
+	// snapshot was taken (legacy representation only). Every committed
+	// xid < Xmin is visible without consulting InProgress.
 	Xmin TxID
 	// Xmax is the first transaction ID that was unassigned when the
-	// snapshot was taken. No xid >= Xmax is visible.
+	// snapshot was taken (legacy representation only).
 	Xmax TxID
 	// InProgress holds the transactions with Xmin <= xid < Xmax that
-	// were still running when the snapshot was taken.
+	// were still running when the snapshot was taken (legacy
+	// representation only; nil for CSN snapshots).
 	InProgress map[TxID]struct{}
 	// SeqNo is the value of the commit-sequence counter when the
 	// snapshot was taken. A transaction T committed before this
-	// snapshot iff T's commit SeqNo <= this value.
+	// snapshot iff T's commit SeqNo <= this value. For CSN snapshots
+	// this field alone IS the snapshot.
 	SeqNo SeqNo
+	// csn, when non-nil, marks this as a CSN snapshot and names the
+	// Manager whose commit log resolves visibility lookups.
+	csn *Manager
 }
 
 // Sees reports whether xid is in the set of transactions visible to the
 // snapshot, assuming xid ultimately committed. Callers must additionally
-// verify with the Manager that xid committed (see Manager.Visible).
+// verify with the Manager that xid committed (see Manager.Visible): for a
+// CSN snapshot, Sees of an uncommitted xid is always false, but for a
+// legacy snapshot an aborted xid that finished before the snapshot still
+// tests true here.
 func (s *Snapshot) Sees(xid TxID) bool {
+	if s.csn != nil {
+		seq, known := s.csn.commitCSN(xid)
+		return known && seq <= s.SeqNo
+	}
 	if xid >= s.Xmax {
 		return false
 	}
@@ -94,12 +194,36 @@ func (s *Snapshot) Sees(xid TxID) bool {
 	return !active
 }
 
+// SeesCommitted reports whether a transaction already known committed,
+// with commit sequence number seq (InvalidSeqNo when unknown because the
+// entry was truncated below the log floor — then the commit predates
+// every live snapshot), is visible to the snapshot. It is the fast path
+// for callers that just resolved xid's fate via Manager.Status: a CSN
+// snapshot answers from seq alone instead of paying a second commit-log
+// lookup for the same xid.
+func (s *Snapshot) SeesCommitted(xid TxID, seq SeqNo) bool {
+	if s.csn != nil {
+		return seq == InvalidSeqNo || seq <= s.SeqNo
+	}
+	return s.Sees(xid)
+}
+
 // ConcurrentWith reports whether xid was in flight when the snapshot was
 // taken — i.e. the snapshot does not include it even if it later
 // committed. This is the "concurrent transaction" test used throughout
 // the SSI layer: rw-antidependencies occur only between concurrent
-// transactions (Corollary 2 of the paper).
+// transactions (Corollary 2 of the paper). For a CSN snapshot the rule
+// is exactly "commit CSN unknown or greater than the snapshot CSN"; note
+// that an *aborted* xid therefore always tests concurrent under CSN
+// (its commit CSN never becomes known), while legacy snapshots report an
+// xid that aborted before the snapshot as not concurrent. The SSI layer
+// only applies this test to in-progress or committed writers, where the
+// two representations agree.
 func (s *Snapshot) ConcurrentWith(xid TxID) bool {
+	if s.csn != nil {
+		seq, known := s.csn.commitCSN(xid)
+		return !known || seq > s.SeqNo
+	}
 	if xid >= s.Xmax {
 		return true
 	}
@@ -107,10 +231,28 @@ func (s *Snapshot) ConcurrentWith(xid TxID) bool {
 	return active
 }
 
-// txRecord is a commit-log entry.
+// txRecord is a commit-log entry: one transaction's fate, its commit CSN
+// once assigned, the CSN-counter value observed when it began (the pin
+// the truncation horizon is computed from), and the done channel writers
+// block on. Fields are guarded by the owning shard's mutex; done is
+// closed exactly once, after the commit is published (or on abort).
 type txRecord struct {
 	status    Status
 	commitSeq SeqNo
+	beginSeq  SeqNo
+	// finishing marks a record whose Commit is in flight under the
+	// DisableCSNFencing ablation (CSN assigned but not yet published);
+	// it makes a double-finish a clean panic instead of a lost update.
+	finishing bool
+	done      chan struct{}
+}
+
+// logShard is one shard of the commit log plus the active subset of its
+// transactions.
+type logShard struct {
+	mu     sync.RWMutex
+	recs   map[TxID]*txRecord
+	active map[TxID]struct{}
 }
 
 // Manager assigns transaction IDs, takes snapshots, and records
@@ -118,41 +260,125 @@ type txRecord struct {
 // It also provides per-transaction done channels so that writers can
 // block waiting for a tuple lock holder to finish, the way PostgreSQL
 // blocks on a transaction's xid lock.
+//
+// Lock levels (all leaves with respect to the engine's locks, see
+// internal/core/partition.go): mu (legacy mode only) > one logShard.mu;
+// truncMu serializes truncations and orders before shard mutexes. CSN
+// mode never takes mu.
 type Manager struct {
-	mu        sync.RWMutex
-	nextXID   TxID
-	commitSeq SeqNo
-	active    map[TxID]*activeTx
-	log       map[TxID]txRecord
-	// logFloor is the lowest xid still present in log; entries below
-	// it have been truncated and are known committed.
-	logFloor TxID
+	cfg       Config
+	shards    []logShard
+	shardMask uint64
+
+	// lastXID is the most recently assigned transaction ID.
+	lastXID atomic.Uint64
+	// assignedSeq is the CSN counter. Commits increment it inside their
+	// commit-log shard's critical section (see the package comment), so
+	// every commit whose CSN a snapshot has observed is resolvable in
+	// the log by the time the snapshot can look it up.
+	assignedSeq atomic.Uint64
+	// logFloor is the lowest xid that may still have a commit-log
+	// entry; absent entries below it are known committed (aborted
+	// entries below it survive as tombstones).
+	logFloor atomic.Uint64
+	// activeCount counts in-progress transactions.
+	activeCount atomic.Int64
+
+	// truncMu serializes TruncateLog/AutoTruncate passes.
+	truncMu sync.Mutex
+
+	// beginMu fences Begin's xid-assignment→shard-registration window.
+	// Begin holds it SHARED across both steps, so Begins never block
+	// each other; OldestActiveXID takes it exclusively for one instant
+	// before reading lastXID, which guarantees every xid at or below
+	// the bound it reads is registered (a Begin preempted between
+	// assignment and registration would otherwise be invisible to the
+	// scan while holding an xid below the bound, and truncation floors
+	// derived from the scan could pass an active transaction).
+	beginMu sync.RWMutex
+
+	// mu is the legacy-mode global snapshot mutex: with
+	// DisableCSNSnapshots, Begin/Commit/Abort hold it exclusively and
+	// TakeSnapshot holds it shared (it only reads — see the RLock note
+	// on TakeSnapshot). Unused in CSN mode.
+	mu sync.RWMutex
+	// testSnapshotHook, if non-nil, runs inside the legacy TakeSnapshot
+	// critical section (white-box test hook pinning the shared-lock
+	// behaviour).
+	testSnapshotHook func()
 }
 
-type activeTx struct {
-	xid  TxID
-	done chan struct{}
-}
-
-// NewManager returns a Manager ready for use. The first assigned
+// New returns a Manager with the given configuration. The first assigned
 // transaction ID is 1.
-func NewManager() *Manager {
-	return &Manager{
-		nextXID:  1,
-		active:   make(map[TxID]*activeTx),
-		log:      make(map[TxID]txRecord),
-		logFloor: 1,
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:       cfg,
+		shards:    make([]logShard, cfg.LogPartitions),
+		shardMask: uint64(cfg.LogPartitions - 1),
 	}
+	for i := range m.shards {
+		m.shards[i].recs = make(map[TxID]*txRecord)
+		m.shards[i].active = make(map[TxID]struct{})
+	}
+	m.logFloor.Store(1)
+	return m
 }
 
-// Begin assigns a new transaction ID and marks it in progress.
+// NewManager returns a Manager with the default (CSN-snapshot)
+// configuration.
+func NewManager() *Manager {
+	return New(Config{})
+}
+
+func (m *Manager) shard(xid TxID) *logShard {
+	return &m.shards[uint64(xid)&m.shardMask]
+}
+
+// lookup returns xid's commit-log record, or nil.
+func (m *Manager) lookup(xid TxID) *txRecord {
+	sh := m.shard(xid)
+	sh.mu.RLock()
+	rec := sh.recs[xid]
+	sh.mu.RUnlock()
+	return rec
+}
+
+// commitCSN returns xid's commit CSN and whether it is known committed.
+// Absent entries below the truncation floor are committed with an
+// unknown (but necessarily snapshot-visible) CSN, reported as
+// InvalidSeqNo — Status owns that resolution, including the
+// re-read-floor-after-miss dance against concurrent truncation.
+func (m *Manager) commitCSN(xid TxID) (SeqNo, bool) {
+	st, seq := m.Status(xid)
+	return seq, st == StatusCommitted
+}
+
+// Begin assigns a new transaction ID and marks it in progress. In CSN
+// mode it touches one commit-log shard and two atomics; no global mutex.
 func (m *Manager) Begin() TxID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	xid := m.nextXID
-	m.nextXID++
-	m.active[xid] = &activeTx{xid: xid, done: make(chan struct{})}
-	m.log[xid] = txRecord{status: StatusInProgress}
+	if m.cfg.DisableCSNSnapshots {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.beginMu.RLock()
+	xid := TxID(m.lastXID.Add(1))
+	rec := &txRecord{
+		status: StatusInProgress,
+		// The begin-time CSN pins the truncation horizon: any snapshot
+		// this transaction takes reads the counter at or after this
+		// load, so commits at or below it are visible to every snapshot
+		// the transaction will ever hold.
+		beginSeq: SeqNo(m.assignedSeq.Load()),
+		done:     make(chan struct{}),
+	}
+	sh := m.shard(xid)
+	sh.mu.Lock()
+	sh.recs[xid] = rec
+	sh.active[xid] = struct{}{}
+	sh.mu.Unlock()
+	m.beginMu.RUnlock()
+	m.activeCount.Add(1)
 	return xid
 }
 
@@ -160,70 +386,175 @@ func (m *Manager) Begin() TxID {
 // The snapshot excludes all in-progress transactions, including the
 // caller's own xid if it has one; storage-level visibility checks treat a
 // transaction's own writes specially.
+//
+// In CSN mode this is a single atomic load of the CSN counter.
+// In legacy mode it copies the active set under the global mutex in
+// SHARED mode: the copy only reads, and every mutation of the active set
+// or the counters holds the mutex exclusively, so concurrent snapshots
+// may overlap each other (they previously serialized on the write lock
+// for no reason).
 func (m *Manager) TakeSnapshot() *Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	snap := &Snapshot{
-		Xmin:       m.nextXID,
-		Xmax:       m.nextXID,
-		InProgress: make(map[TxID]struct{}, len(m.active)),
-		SeqNo:      m.commitSeq,
+	if !m.cfg.DisableCSNSnapshots {
+		return &Snapshot{SeqNo: SeqNo(m.assignedSeq.Load()), csn: m}
 	}
-	for xid := range m.active {
-		if xid < snap.Xmin {
-			snap.Xmin = xid
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.testSnapshotHook != nil {
+		m.testSnapshotHook()
+	}
+	next := TxID(m.lastXID.Load()) + 1
+	snap := &Snapshot{
+		Xmin:       next,
+		Xmax:       next,
+		InProgress: make(map[TxID]struct{}, m.activeCount.Load()),
+		SeqNo:      SeqNo(m.assignedSeq.Load()),
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for xid := range sh.active {
+			if xid < snap.Xmin {
+				snap.Xmin = xid
+			}
+			snap.InProgress[xid] = struct{}{}
 		}
-		snap.InProgress[xid] = struct{}{}
+		sh.mu.RUnlock()
 	}
 	return snap
 }
 
+// finishableLocked returns xid's record if it can be committed or
+// aborted, panicking (like the pre-CSN implementation) otherwise. Caller
+// holds the shard's mutex.
+func finishableLocked(sh *logShard, xid TxID, op string) *txRecord {
+	rec := sh.recs[xid]
+	if rec == nil || rec.status != StatusInProgress || rec.finishing {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("mvcc: %s of non-active transaction %d", op, xid))
+	}
+	return rec
+}
+
+// beginFinish claims xid's record for a finish whose CSN assignment
+// happens outside the shard critical section (the DisableCSNFencing
+// ablation), so a concurrent double-finish is a clean panic instead of a
+// lost update.
+func (m *Manager) beginFinish(sh *logShard, xid TxID, op string) *txRecord {
+	sh.mu.Lock()
+	rec := finishableLocked(sh, xid, op)
+	rec.finishing = true
+	sh.mu.Unlock()
+	return rec
+}
+
 // Commit marks xid committed, assigns it the next commit sequence number,
 // and wakes any waiters. It returns the assigned sequence number.
+//
+// CSN-mode ordering: inside the commit-log shard's single critical
+// section, validate the record, increment the CSN counter, AND publish
+// (xid → CSN, committed); then close the done channel. That atomicity is
+// what makes a snapshot all-or-nothing: a snapshot whose CSN covers this
+// commit observed the counter increment, so its commit-log lookup —
+// behind the shard's read lock — cannot run before the record write in
+// the same critical section (see the package comment). Under
+// DisableCSNFencing the increment happens before the critical section,
+// with OnCSNPublish parked in the reopened window.
 func (m *Manager) Commit(xid TxID) SeqNo {
-	m.mu.Lock()
-	a, ok := m.active[xid]
-	if !ok {
-		m.mu.Unlock()
-		panic(fmt.Sprintf("mvcc: Commit of non-active transaction %d", xid))
+	sh := m.shard(xid)
+	switch {
+	case m.cfg.DisableCSNSnapshots:
+		// Deferred so the double-finish panic in finishableLocked does
+		// not leak the global mutex to a recovering caller.
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		sh.mu.Lock()
+		rec := finishableLocked(sh, xid, "Commit")
+		seq := m.publishCommitLocked(sh, rec, xid, InvalidSeqNo)
+		m.finishCommit(rec)
+		return seq
+	case m.cfg.DisableCSNFencing:
+		// Ablation: CSN assigned outside the publication critical
+		// section; a snapshot taken in between covers the commit but
+		// cannot resolve it yet — the torn-snapshot window.
+		rec := m.beginFinish(sh, xid, "Commit")
+		seq := SeqNo(m.assignedSeq.Add(1))
+		if h := m.cfg.OnCSNPublish; h != nil {
+			h(xid, seq)
+		}
+		sh.mu.Lock()
+		m.publishCommitLocked(sh, rec, xid, seq)
+		m.finishCommit(rec)
+		return seq
+	default:
+		if h := m.cfg.OnCSNPublish; h != nil {
+			h(xid, InvalidSeqNo)
+		}
+		sh.mu.Lock()
+		rec := finishableLocked(sh, xid, "Commit")
+		seq := m.publishCommitLocked(sh, rec, xid, InvalidSeqNo)
+		m.finishCommit(rec)
+		return seq
 	}
-	m.commitSeq++
-	seq := m.commitSeq
-	m.log[xid] = txRecord{status: StatusCommitted, commitSeq: seq}
-	delete(m.active, xid)
-	m.mu.Unlock()
-	close(a.done)
+}
+
+// publishCommitLocked writes the committed fate (assigning the CSN
+// unless the caller pre-assigned one — the DisableCSNFencing ablation)
+// and releases the shard mutex the caller holds.
+func (m *Manager) publishCommitLocked(sh *logShard, rec *txRecord, xid TxID, seq SeqNo) SeqNo {
+	if seq == InvalidSeqNo {
+		seq = SeqNo(m.assignedSeq.Add(1))
+	}
+	rec.status = StatusCommitted
+	rec.commitSeq = seq
+	delete(sh.active, xid)
+	sh.mu.Unlock()
 	return seq
+}
+
+// finishCommit is the shared post-publication tail of every Commit path.
+func (m *Manager) finishCommit(rec *txRecord) {
+	m.activeCount.Add(-1)
+	close(rec.done)
 }
 
 // Abort marks xid aborted and wakes any waiters.
 func (m *Manager) Abort(xid TxID) {
-	m.mu.Lock()
-	a, ok := m.active[xid]
-	if !ok {
-		m.mu.Unlock()
-		panic(fmt.Sprintf("mvcc: Abort of non-active transaction %d", xid))
+	sh := m.shard(xid)
+	if m.cfg.DisableCSNSnapshots {
+		m.mu.Lock()
+		defer m.mu.Unlock()
 	}
-	m.log[xid] = txRecord{status: StatusAborted}
-	delete(m.active, xid)
-	m.mu.Unlock()
-	close(a.done)
+	sh.mu.Lock()
+	rec := finishableLocked(sh, xid, "Abort")
+	rec.status = StatusAborted
+	delete(sh.active, xid)
+	sh.mu.Unlock()
+	m.activeCount.Add(-1)
+	close(rec.done)
 }
 
 // Status returns the recorded fate of xid and, if committed, its commit
-// sequence number. Transactions below the truncated region of the log are
-// reported committed with an unknown (zero) sequence number.
+// sequence number. Transactions absent below the truncated region of the
+// log are reported committed with an unknown (zero) sequence number;
+// aborted transactions below it keep tombstone entries and still report
+// aborted (see TruncateLog).
 func (m *Manager) Status(xid TxID) (Status, SeqNo) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if xid < m.logFloor {
-		return StatusCommitted, InvalidSeqNo
+	sh := m.shard(xid)
+	sh.mu.RLock()
+	rec := sh.recs[xid]
+	var st Status
+	var seq SeqNo
+	if rec != nil {
+		st, seq = rec.status, rec.commitSeq
 	}
-	rec, ok := m.log[xid]
-	if !ok {
+	sh.mu.RUnlock()
+	if rec == nil {
+		if xid < TxID(m.logFloor.Load()) {
+			return StatusCommitted, InvalidSeqNo
+		}
 		return StatusAborted, InvalidSeqNo
 	}
-	return rec.status, rec.commitSeq
+	return st, seq
 }
 
 // IsCommitted reports whether xid committed.
@@ -233,7 +564,7 @@ func (m *Manager) IsCommitted(xid TxID) bool {
 }
 
 // CommitSeq returns xid's commit sequence number, or InvalidSeqNo if xid
-// has not committed.
+// has not committed (or committed below the truncation floor).
 func (m *Manager) CommitSeq(xid TxID) SeqNo {
 	st, seq := m.Status(xid)
 	if st != StatusCommitted {
@@ -243,21 +574,22 @@ func (m *Manager) CommitSeq(xid TxID) SeqNo {
 }
 
 // Visible reports whether the effects of xid are visible to snap: xid is
-// in the snapshot's visible set and xid committed.
+// in the snapshot's visible set and xid committed. A transaction's own
+// xid is never Visible (it is in progress while it runs); the storage
+// layer handles own-writes before consulting the snapshot.
 func (m *Manager) Visible(xid TxID, snap *Snapshot) bool {
-	if !snap.Sees(xid) {
-		return false
-	}
-	return m.IsCommitted(xid)
+	st, seq := m.Status(xid)
+	return st == StatusCommitted && snap.SeesCommitted(xid, seq)
 }
 
 // Done returns a channel that is closed when xid commits or aborts.
 // If xid has already finished, the returned channel is already closed.
+// The channel closes only after the commit is fully visible: a
+// TakeSnapshot after Done(xid) is closed by Commit yields a snapshot
+// that Sees xid.
 func (m *Manager) Done(xid TxID) <-chan struct{} {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if a, ok := m.active[xid]; ok {
-		return a.done
+	if rec := m.lookup(xid); rec != nil {
+		return rec.done
 	}
 	closed := make(chan struct{})
 	close(closed)
@@ -266,74 +598,217 @@ func (m *Manager) Done(xid TxID) <-chan struct{} {
 
 // ActiveCount returns the number of in-progress transactions.
 func (m *Manager) ActiveCount() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.active)
+	return int(m.activeCount.Load())
 }
 
 // ActiveXIDs returns the in-progress transaction IDs in unspecified order.
 func (m *Manager) ActiveXIDs() []TxID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	xids := make([]TxID, 0, len(m.active))
-	for xid := range m.active {
-		xids = append(xids, xid)
+	xids := make([]TxID, 0, m.activeCount.Load())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for xid := range sh.active {
+			xids = append(xids, xid)
+		}
+		sh.mu.RUnlock()
 	}
 	return xids
 }
 
-// CurrentSeq returns the current value of the commit-sequence counter.
+// CurrentSeq returns the current value of the commit-sequence counter:
+// the CSN a snapshot taken right now would carry.
 func (m *Manager) CurrentSeq() SeqNo {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.commitSeq
+	return SeqNo(m.assignedSeq.Load())
 }
 
 // NextXID returns the next transaction ID that will be assigned.
 func (m *Manager) NextXID() TxID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.nextXID
+	return TxID(m.lastXID.Load()) + 1
 }
 
 // OldestActiveXID returns the lowest in-progress xid, or the next xid to
 // be assigned if no transaction is active. The SSI layer uses this to
-// decide when committed-transaction state can be cleaned up.
+// decide when committed-transaction state can be cleaned up. The answer
+// can be stale the moment it returns, but only upward: the returned
+// bound never passes an active xid, because the begin fence below
+// excludes mid-flight Begins at the instant the bound is read — a Begin
+// racing this scan either completed its registration before the fence
+// (and is seen by the scan) or assigns an xid above the bound.
 func (m *Manager) OldestActiveXID() TxID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	oldest := m.nextXID
-	for xid := range m.active {
-		if xid < oldest {
-			oldest = xid
+	m.beginMu.Lock()
+	oldest := TxID(m.lastXID.Load()) + 1
+	m.beginMu.Unlock()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for xid := range sh.active {
+			if xid < oldest {
+				oldest = xid
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return oldest
 }
 
-// TruncateLog discards commit-log entries for transactions with
-// xid < floor, which must all have committed or aborted. PostgreSQL
-// similarly truncates pg_clog once no snapshot can reference old xids.
-// Entries for aborted transactions below the floor must not be truncated
-// by callers that still hold versions created by them; the engine only
-// truncates below the oldest snapshot's xmin after vacuuming.
+// minActiveBeginSeq returns the minimum begin-time CSN over the active
+// transactions, or the current CSN if none is active.
+// Every snapshot any active transaction holds (or will take) has a CSN
+// at or above this value, so commits at or below it are visible to every
+// present and future snapshot — the truncation horizon.
+func (m *Manager) minActiveBeginSeq() SeqNo {
+	// Read the fallback bound before the scan. Unlike OldestActiveXID,
+	// no begin fence is needed: a Begin this scan misses takes its
+	// snapshot after registering, hence after this load, so that
+	// snapshot's CSN is at or above the bound read here and covers
+	// everything the horizon admits for truncation.
+	min := SeqNo(m.assignedSeq.Load())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for xid := range sh.active {
+			if rec := sh.recs[xid]; rec != nil && rec.beginSeq < min {
+				min = rec.beginSeq
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return min
+}
+
+// TruncateLog discards committed commit-log entries for transactions with
+// xid < floor, which must all have committed or aborted and whose
+// commits must be visible to every present and future snapshot (in CSN
+// terms: commit CSN at or below every active transaction's begin-time
+// published CSN — AutoTruncate computes the largest such floor).
+// PostgreSQL similarly truncates pg_clog once no snapshot can reference
+// old xids. Entries for aborted transactions below the floor are kept as
+// tombstones — an aborted xid must never start resolving "committed"
+// while a heap version it stamped could still be read — and are removed
+// by DropAbortedBelow once the heap has been vacuumed clean of them.
 func (m *Manager) TruncateLog(floor TxID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if floor <= m.logFloor {
+	m.truncMu.Lock()
+	defer m.truncMu.Unlock()
+	if floor <= TxID(m.logFloor.Load()) {
 		return
 	}
-	for xid := range m.log {
-		if xid < floor {
-			delete(m.log, xid)
+	// Raise the floor before deleting: a concurrent Status/commitCSN
+	// that misses a just-deleted record re-reads the floor and resolves
+	// it committed.
+	m.logFloor.Store(uint64(floor))
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for xid, rec := range sh.recs {
+			if xid < floor && rec.status == StatusCommitted {
+				delete(sh.recs, xid)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	m.logFloor = floor
+}
+
+// autoTruncateScanCap bounds how many xids one AutoTruncate pass
+// examines, so a reclaimer tick after a long truncation-free stretch
+// does linear work in bounded chunks.
+const autoTruncateScanCap = 1 << 16
+
+// AutoTruncate advances the commit-log truncation floor as far as
+// currently safe and applies it, returning the new floor. It is called
+// by the engine's epoch reclaimer on its background passes; it is safe
+// to call concurrently with everything else.
+//
+// The floor stops at the oldest active xid, at any committed entry whose
+// CSN is above the truncation horizon (a small-xid transaction that
+// committed late: some active snapshot may not include it yet), and
+// after autoTruncateScanCap entries. Absent xids (already truncated, or
+// dropped aborted tombstones) are skipped; aborted tombstones are left
+// in place below the advanced floor. Unlike TruncateLog's full-shard
+// sweep, only the entries the scan just proved reclaimable are deleted,
+// so a background pass perturbs concurrent shard traffic as little as
+// possible.
+func (m *Manager) AutoTruncate() TxID {
+	m.truncMu.Lock()
+	defer m.truncMu.Unlock()
+	limit := m.OldestActiveXID()
+	horizon := m.minActiveBeginSeq()
+	start := TxID(m.logFloor.Load())
+	floor := start
+	var victims []TxID
+scan:
+	for scanned := 0; floor < limit && scanned < autoTruncateScanCap; scanned++ {
+		// Field reads are safe unlocked here: every xid below limit is
+		// registered and finished (OldestActiveXID's begin fence rules
+		// out an unregistered in-flight xid below it), the record's
+		// fields quiesced before the finishing critical section
+		// released the shard mutex, and lookup's read lock ordered
+		// this goroutine after that release.
+		rec := m.lookup(floor)
+		if rec != nil {
+			switch {
+			case rec.status == StatusCommitted && rec.commitSeq <= horizon:
+				// Visible to every present and future snapshot.
+				victims = append(victims, floor)
+			case rec.status == StatusAborted:
+				// Tombstone: the floor passes it, the entry stays.
+			default:
+				// In-progress (cannot happen below the oldest active
+				// xid, but be conservative) or committed above the
+				// horizon: stop here.
+				break scan
+			}
+		}
+		floor++
+	}
+	if floor == start {
+		return start
+	}
+	// Raise the floor before deleting: a concurrent Status/commitCSN
+	// that misses a just-deleted record re-reads the floor and resolves
+	// it committed.
+	m.logFloor.Store(uint64(floor))
+	for _, xid := range victims {
+		sh := m.shard(xid)
+		sh.mu.Lock()
+		delete(sh.recs, xid)
+		sh.mu.Unlock()
+	}
+	return floor
+}
+
+// DropAbortedBelow removes aborted tombstone entries with xid < floor.
+// The caller must guarantee that no heap tuple version stamped (xmin or
+// xmax) with an aborted xid below floor remains reachable — the engine's
+// Vacuum establishes this by pruning every chain while floor is at or
+// below the oldest xid active at the start of its sweep. After the drop,
+// such an xid resolves like any other absent xid (committed below the
+// truncation floor, aborted above), which no reader can observe anymore.
+func (m *Manager) DropAbortedBelow(floor TxID) int {
+	m.truncMu.Lock()
+	defer m.truncMu.Unlock()
+	dropped := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for xid, rec := range sh.recs {
+			if xid < floor && rec.status == StatusAborted {
+				delete(sh.recs, xid)
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
 }
 
 // LogSize returns the number of entries currently in the commit log.
 func (m *Manager) LogSize() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.log)
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.recs)
+		sh.mu.RUnlock()
+	}
+	return n
 }

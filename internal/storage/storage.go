@@ -287,7 +287,7 @@ func readChain(head *Tuple, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manag
 			res.Tuple = v
 			return res
 		}
-		st, _ := mgr.Status(v.Xmin)
+		st, seq := mgr.Status(v.Xmin)
 		switch st {
 		case mvcc.StatusAborted:
 			continue
@@ -298,7 +298,7 @@ func readChain(head *Tuple, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manag
 			res.ConflictOut = append(res.ConflictOut, v.Xmin)
 			continue
 		case mvcc.StatusCommitted:
-			if !snap.Sees(v.Xmin) {
+			if !snap.SeesCommitted(v.Xmin, seq) {
 				// Committed after our snapshot: concurrent.
 				res.ConflictOut = append(res.ConflictOut, v.Xmin)
 				continue
@@ -314,7 +314,7 @@ func readChain(head *Tuple, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manag
 			// Deleted by ourselves.
 			return res
 		}
-		xst, _ := mgr.Status(v.Xmax)
+		xst, xseq := mgr.Status(v.Xmax)
 		switch xst {
 		case mvcc.StatusAborted:
 			res.Tuple = v
@@ -324,7 +324,7 @@ func readChain(head *Tuple, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manag
 			res.Tuple = v
 			return res
 		case mvcc.StatusCommitted:
-			if snap.Sees(v.Xmax) {
+			if snap.SeesCommitted(v.Xmax, xseq) {
 				// Deleted before our snapshot: row is gone.
 				return res
 			}
@@ -405,7 +405,7 @@ func (t *Table) Insert(key string, value []byte, xid mvcc.TxID, subID int32, sna
 			sh.mu.Unlock()
 			return WriteResult{OldPage: head.Page, NewPage: nv.Page}, nil
 		}
-		st, _ := mgr.Status(head.Xmin)
+		st, seq := mgr.Status(head.Xmin)
 		if st == mvcc.StatusInProgress && head.Xmin != xid {
 			holder := head.Xmin
 			sh.mu.Unlock()
@@ -420,7 +420,7 @@ func (t *Table) Insert(key string, value []byte, xid mvcc.TxID, subID int32, sna
 			sh.mu.Unlock()
 			return WriteResult{}, ErrDuplicateKey
 		}
-		if head.Xmax == 0 && st == mvcc.StatusCommitted && !snap.Sees(head.Xmin) {
+		if head.Xmax == 0 && st == mvcc.StatusCommitted && !snap.SeesCommitted(head.Xmin, seq) {
 			// A concurrent transaction inserted the key and
 			// committed: unique violation even though we cannot
 			// see the row.
@@ -512,13 +512,13 @@ func (t *Table) modify(key string, value []byte, del bool, xid mvcc.TxID, subID 
 			// transaction owns the newest version, this is a
 			// first-updater-wins conflict; otherwise the row is
 			// simply absent.
-			if st, _ := mgr.Status(head.Xmin); head.Xmin != xid && st == mvcc.StatusCommitted && !snap.Sees(head.Xmin) {
+			if st, seq := mgr.Status(head.Xmin); head.Xmin != xid && st == mvcc.StatusCommitted && !snap.SeesCommitted(head.Xmin, seq) {
 				sh.mu.Unlock()
 				release()
 				return WriteResult{}, ErrWriteConflict
 			}
 			if head.Xmax != 0 && head.Xmax != xid {
-				if xst, _ := mgr.Status(head.Xmax); xst == mvcc.StatusCommitted && !snap.Sees(head.Xmax) {
+				if xst, xseq := mgr.Status(head.Xmax); xst == mvcc.StatusCommitted && !snap.SeesCommitted(head.Xmax, xseq) {
 					sh.mu.Unlock()
 					release()
 					return WriteResult{}, ErrWriteConflict
@@ -715,7 +715,7 @@ func (t *Table) Vacuum(horizon *mvcc.Snapshot, mgr *mvcc.Manager) int {
 			// If the sole remaining version is a committed delete
 			// visible to everyone, drop the row entirely.
 			if head.Older == nil && head.Xmax != 0 {
-				if st, _ := mgr.Status(head.Xmax); st == mvcc.StatusCommitted && horizon.Sees(head.Xmax) {
+				if st, seq := mgr.Status(head.Xmax); st == mvcc.StatusCommitted && horizon.SeesCommitted(head.Xmax, seq) {
 					delete(sh.rows, key)
 					removed++
 				}
