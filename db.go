@@ -165,6 +165,15 @@ type Config struct {
 	// commit log. Rounded up to a power of two; defaults to 64.
 	CommitLogPartitions int
 
+	// DisableScanBatch routes Tx.Scan and Tx.ScanIndex through the
+	// legacy per-row read path — one page-latch acquisition and one
+	// lock-manager call per row — instead of the page-grained batch
+	// path (storage.ReadPageBatch + core.AcquireTupleLockBatch), which
+	// latches each heap page once and registers the page's SIREAD locks
+	// in one batch. Semantics are identical; this is the A/B ablation
+	// knob for the scan benchmarks and the fuzzer's batching axis.
+	DisableScanBatch bool
+
 	// LatchPartitions is the number of shards in each table's per-page
 	// read latch table (the engine's analogue of PostgreSQL's buffer
 	// content lock for SSI; see internal/storage/latch.go). Rounded up

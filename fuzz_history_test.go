@@ -87,7 +87,6 @@ func TestFuzzSerializableHistories(t *testing.T) {
 	if *slowFuzz {
 		histories = 20000
 	}
-	legacy := pgssi.Config{DisableCSNSnapshots: true}
 	run := func(seed int, cfg pgssi.Config, label string) []bool {
 		verdicts, cyc := runFuzzHistory(t, uint64(seed), pgssi.Serializable, cfg)
 		if cyc != nil {
@@ -96,7 +95,16 @@ func TestFuzzSerializableHistories(t *testing.T) {
 		return verdicts
 	}
 	for seed := 1; seed <= histories; seed++ {
-		csnVerdicts := run(seed, pgssi.Config{}, "csn")
+		// The scan read path alternates by seed between the page-grained
+		// batch (default) and the legacy per-row ablation, so every run
+		// of the fuzzer validates oracle parity under both snapshot
+		// representations with batching on AND off. Both representations
+		// of one seed use the same setting — the cross-representation
+		// verdict comparison must vary exactly one axis.
+		perRow := seed%2 == 0
+		csnCfg := pgssi.Config{DisableScanBatch: perRow}
+		legacy := pgssi.Config{DisableCSNSnapshots: true, DisableScanBatch: perRow}
+		csnVerdicts := run(seed, csnCfg, "csn")
 		legacyVerdicts := run(seed, legacy, "legacy")
 		if verdictsEqual(csnVerdicts, legacyVerdicts) {
 			continue
@@ -114,7 +122,7 @@ func TestFuzzSerializableHistories(t *testing.T) {
 		const retries = 12
 		crossed := false
 		for r := 0; r < retries && !crossed; r++ {
-			crossed = verdictsEqual(run(seed, pgssi.Config{}, "csn retry"), legacyVerdicts) ||
+			crossed = verdictsEqual(run(seed, csnCfg, "csn retry"), legacyVerdicts) ||
 				verdictsEqual(run(seed, legacy, "legacy retry"), csnVerdicts)
 		}
 		if !crossed {

@@ -206,25 +206,35 @@ func onCount(t *testing.T, db *pgssi.DB) int {
 }
 
 func TestDetectionWindowWriteSkew(t *testing.T) {
+	// The Scan case runs through BOTH scan read paths: the page-grained
+	// batch path (the default — visibility and SIREAD registration for
+	// the whole page happen under one shared latch, registration before
+	// the latch drops) and the legacy per-row path
+	// (Config.DisableScanBatch). The batch path must preserve the PR 2
+	// atomicity exactly: with the latch ablated the same missed
+	// antidependency reappears through the batched code, and with it
+	// enabled the writer provably blocks until the batch's registration
+	// is in the table.
 	for _, via := range []struct {
 		name    string
 		viaScan bool
-	}{{"Get", false}, {"Scan", true}} {
+		perRow  bool
+	}{{"Get", false, false}, {"Scan-batch", true, false}, {"Scan-perrow", true, true}} {
 		t.Run(via.name, func(t *testing.T) {
 			t.Run("latch-disabled-misses-antidependency", func(t *testing.T) {
-				// The regression this PR fixes, reproduced: with the
+				// The regression PR 2 fixed, reproduced: with the
 				// latch ablated, T2's CheckWrite runs in T1's window,
 				// sees neither T1's SIREAD lock nor a conflicting
 				// version, and the rw-antidependency T1 → T2 is lost.
 				// Both transactions commit and the write-skew anomaly
 				// survives SERIALIZABLE.
-				err1, err2 := runWindowWriteSkewCheck(t, true, via.viaScan)
+				err1, err2 := runWindowWriteSkewCheck(t, true, via.viaScan, via.perRow)
 				if err1 != nil || err2 != nil {
 					t.Fatalf("expected the unlatched engine to miss the conflict and commit both: err1=%v err2=%v", err1, err2)
 				}
 			})
 			t.Run("latch-enabled-detects", func(t *testing.T) {
-				err1, err2 := runWindowWriteSkewCheck(t, false, via.viaScan)
+				err1, err2 := runWindowWriteSkewCheck(t, false, via.viaScan, via.perRow)
 				if (err1 == nil) == (err2 == nil) {
 					t.Fatalf("exactly one transaction should fail: err1=%v err2=%v", err1, err2)
 				}
@@ -243,10 +253,10 @@ func TestDetectionWindowWriteSkew(t *testing.T) {
 // runWindowWriteSkewCheck runs the interleaving and verifies the final
 // state matches the commit outcome: the invariant "at least one of k1,
 // k2 is on" is broken exactly when both transactions committed.
-func runWindowWriteSkewCheck(t *testing.T, disableLatch, viaScan bool) (err1, err2 error) {
+func runWindowWriteSkewCheck(t *testing.T, disableLatch, viaScan, perRow bool) (err1, err2 error) {
 	t.Helper()
 	p := newReadPauser()
-	db := windowDB(t, pgssi.Config{DisableReadLatch: disableLatch, OnRead: p.hook})
+	db := windowDB(t, pgssi.Config{DisableReadLatch: disableLatch, DisableScanBatch: perRow, OnRead: p.hook})
 	err1, err2 = driveWindowWriteSkew(t, db, p, disableLatch, viaScan)
 	aborted := 0
 	for _, e := range []error{err1, err2} {

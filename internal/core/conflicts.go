@@ -544,13 +544,14 @@ type ReadItem struct {
 // the transaction's own lockMu across the batch and touches only the
 // lock-table partitions.
 //
-// The engine's heap scan path no longer uses this entry point: a batch
+// The engine's heap scan path does not use this entry point: a batch
 // spanning many heap pages cannot run under a single per-page read
-// latch, so scans acquire each row's SIREAD lock via CheckRead inside
-// storage.Table.Read's latched callback and batch only the MVCC
-// conflict flagging (CheckScanConflicts). CheckReadBatch remains for
-// callers that batch reads whose atomicity is established by other
-// means (and is exercised directly by the concurrency stress tests).
+// latch. Scans instead group rows BY page (storage.ReadPageBatch) and
+// register each page's SIREAD locks through AcquireTupleLockBatch from
+// inside that page's latch, batching the MVCC conflict flagging
+// separately (CheckScanConflicts). CheckReadBatch remains for callers
+// that batch reads whose atomicity is established by other means (and
+// is exercised directly by the concurrency stress tests).
 func (m *Manager) CheckReadBatch(x *Xact, rel string, items []ReadItem) error {
 	if len(items) == 0 {
 		return nil

@@ -356,11 +356,32 @@ func (m *Manager) Abort(x *Xact) {
 	}
 }
 
-// dropCommittedLocked fully releases a committed transaction's state
-// once no active snapshot can observe it. Caller holds m.mu (the
-// reclaimer); the edge locks are taken per endpoint.
-func (m *Manager) dropCommittedLocked(c *Xact) {
-	m.releaseLocksLocked(c)
+// dropCommittedBatchLocked fully releases a batch of committed
+// transactions' state once no active snapshot can observe them,
+// sweeping each lock-table partition at most once for all the victims'
+// SIREAD locks (a per-transaction release takes a partition mutex per
+// lock, which contends with the mutex-free acquire path — see the
+// batch-path rules in partition.go). Caller holds m.mu (the reclaimer);
+// the edge locks are taken per endpoint.
+func (m *Manager) dropCommittedBatchLocked(cs []*Xact) {
+	if len(cs) == 0 {
+		return
+	}
+	var byPart map[uint64][]removal
+	for _, c := range cs {
+		byPart = m.collectLocksLocked(c, byPart)
+	}
+	m.flushRemovalsLocked(byPart)
+	for _, c := range cs {
+		m.dropEdgesLocked(c)
+		m.dropXact(c)
+	}
+}
+
+// dropEdgesLocked removes a finished transaction's conflict edges from
+// both endpoints. Caller holds m.mu; the edge locks are taken per
+// endpoint.
+func (m *Manager) dropEdgesLocked(c *Xact) {
 	for w := range c.outConflicts {
 		w.edgeMu.Lock()
 		delete(w.inConflicts, c)
@@ -375,7 +396,6 @@ func (m *Manager) dropCommittedLocked(c *Xact) {
 	c.outConflicts = nil
 	c.inConflicts = nil
 	c.edgeMu.Unlock()
-	m.dropXact(c)
 }
 
 // summarizeLocked consolidates a committed transaction (popped from the

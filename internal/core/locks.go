@@ -112,13 +112,144 @@ func (m *Manager) coveredXLocked(x *Xact, t Target) bool {
 	return false
 }
 
-// insertLockXLocked adds (t, x) to the lock table and x's lock set.
-// Caller holds x.lockMu; the partition mutex is taken here.
-func (m *Manager) insertLockXLocked(x *Xact, t Target) {
+// AcquireTupleLockBatch records SIREAD locks for x on a batch of tuples
+// whose read versions share one heap page — semantically identical to
+// calling AcquireTupleLock per key, but O(1) in lock-path acquisitions
+// where the per-row path is O(rows): x.lockMu is taken once for the
+// whole batch, the covered/dup checks run against x's own lock set in
+// that single critical section, the surviving inserts are grouped so
+// each partition mutex is taken at most once, and promotion bookkeeping
+// runs once at batch end. A batch must never span heap pages: the
+// engine calls this from inside the page's shared read latch
+// (storage.ReadPageBatch), which is what keeps the PR 2
+// {visibility, registration} atomicity per page (see partition.go).
+//
+// It returns relCovered=true when x holds (or, via promotion, just
+// acquired) a relation-granularity lock on rel. Lock sets only ever
+// coarsen, so a scan can cache that answer and skip the remaining
+// pages' batches entirely. The error is ErrSerializationFailure iff x
+// has been doomed.
+func (m *Manager) AcquireTupleLockBatch(x *Xact, rel string, page int64, keys []string) (relCovered bool, err error) {
+	if x.doomed.Load() {
+		return false, ErrSerializationFailure
+	}
+	if x.safe.Load() {
+		// Safe-snapshot transactions take no SIREAD locks (§4.2).
+		return false, nil
+	}
+	x.lockMu.Lock()
+	relCovered = m.acquireTupleBatchXLocked(x, rel, page, keys)
+	x.lockMu.Unlock()
+	if x.doomed.Load() {
+		return relCovered, ErrSerializationFailure
+	}
+	return relCovered, nil
+}
+
+// acquireTupleBatchXLocked is AcquireTupleLockBatch's critical section.
+// Caller holds x.lockMu.
+func (m *Manager) acquireTupleBatchXLocked(x *Xact, rel string, page int64, keys []string) (relCovered bool) {
+	if x.lockingDone {
+		return false
+	}
+	if _, ok := x.locks[RelationTarget(rel)]; ok {
+		return true
+	}
+	pk := PageTarget(rel, page)
+	if _, ok := x.locks[pk]; ok {
+		return false
+	}
+	// Survivors: keys not already tuple-locked by x.
+	targets := make([]Target, 0, len(keys))
+	for _, k := range keys {
+		t := TupleTarget(rel, page, k)
+		if _, dup := x.locks[t]; !dup {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	// Global capacity bound, batch-wise: same trigger as the per-row
+	// path (gauge already at the bound), with the same tolerance for
+	// brief overshoot under concurrency.
+	if int(m.locksCurrent.Load()) >= m.cfg.MaxPredicateLocks {
+		m.capacityPromotions.Add(1)
+		m.promoteToRelationXLocked(x, rel)
+		return true
+	}
+	// Tuple→page threshold, applied once for the batch: if the batch
+	// would cross it, take the page lock directly instead of inserting
+	// tuple locks that promotion would immediately remove. Coverage is
+	// identical (the page lock covers every tuple in the batch).
+	if x.tuplesOnPage == nil {
+		x.tuplesOnPage = make(map[Target]int)
+	}
+	if x.tuplesOnPage[pk]+len(targets) > m.cfg.PromoteTupleToPage {
+		m.tuplePromotions.Add(1)
+		m.promoteToPageXLocked(x, rel, page)
+		_, relCovered = x.locks[RelationTarget(rel)]
+		return relCovered
+	}
+	// Group the surviving inserts by partition; take each partition
+	// mutex exactly once, still one at a time (ordering rule unchanged).
+	type partBatch struct {
+		p  *lockPartition
+		ts []Target
+	}
+	groups := make([]partBatch, 0, 8)
+outer:
+	for _, t := range targets {
+		p := m.partition(t)
+		for i := range groups {
+			if groups[i].p == p {
+				groups[i].ts = append(groups[i].ts, t)
+				continue outer
+			}
+		}
+		groups = append(groups, partBatch{p: p, ts: []Target{t}})
+	}
+	if x.locks == nil {
+		x.locks = make(map[Target]struct{}, len(targets))
+	}
+	// n counts actual holder-set insertions, not batch entries: a key
+	// duplicated within one batch hashes to the same target and must
+	// move the gauge once (the engine passes dup-free key sets, but the
+	// accounting must not depend on that).
+	n := 0
+	for gi := range groups {
+		g := &groups[gi]
+		g.p.mu.Lock()
+		for _, t := range g.ts {
+			holders := g.p.locks[t]
+			if holders == nil {
+				holders = make(map[*Xact]struct{})
+				g.p.locks[t] = holders
+			}
+			if _, dup := holders[x]; !dup {
+				holders[x] = struct{}{}
+				n++
+			}
+		}
+		g.p.mu.Unlock()
+		for _, t := range g.ts {
+			x.locks[t] = struct{}{}
+		}
+	}
+	m.locksAcquired.Add(int64(n))
+	m.bumpLocksCurrent(int64(n))
+	x.tuplesOnPage[pk] += n
+	return false
+}
+
+// insertLockXLocked adds (t, x) to the lock table and x's lock set,
+// reporting whether a new lock was inserted (false on dup). Caller
+// holds x.lockMu; the partition mutex is taken here.
+func (m *Manager) insertLockXLocked(x *Xact, t Target) bool {
 	// x.locks and the partition's holder set are kept in sync under
 	// x.lockMu, so the transaction's own set doubles as the dup check.
 	if _, ok := x.locks[t]; ok {
-		return
+		return false
 	}
 	p := m.partition(t)
 	p.mu.Lock()
@@ -135,6 +266,7 @@ func (m *Manager) insertLockXLocked(x *Xact, t Target) {
 	x.locks[t] = struct{}{}
 	m.locksAcquired.Add(1)
 	m.bumpLocksCurrent(1)
+	return true
 }
 
 // removeLockXLocked removes (t, x) from the lock table and x's lock set.
@@ -195,17 +327,66 @@ func (m *Manager) promoteToRelationXLocked(x *Xact, rel string) {
 	delete(x.pagesOnRel, rel)
 }
 
-// releaseLocksLocked removes every SIREAD lock x holds and bars new
-// acquisitions. Caller holds m.mu; x.lockMu is taken here.
-func (m *Manager) releaseLocksLocked(x *Xact) {
+// removal is one (target, holder) pair queued for batched deletion from
+// the lock table, grouped by partition index (see flushRemovalsLocked).
+type removal struct {
+	t Target
+	x *Xact
+}
+
+// collectLocksLocked freezes x's lock set — setting lockingDone and
+// clearing the per-transaction bookkeeping — and queues its (target, x)
+// pairs into byPart for a later flushRemovalsLocked, allocating the map
+// lazily (pass nil for the first transaction of a batch) and returning
+// it. Until the flush, the lock table transiently holds entries for a
+// transaction whose own set is empty; caller must hold m.mu across
+// collect+flush, which makes the desync unobservable (see the
+// batch-path rules in partition.go).
+func (m *Manager) collectLocksLocked(x *Xact, byPart map[uint64][]removal) map[uint64][]removal {
 	x.lockMu.Lock()
-	defer x.lockMu.Unlock()
+	if len(x.locks) > 0 && byPart == nil {
+		byPart = make(map[uint64][]removal, 8)
+	}
 	x.lockingDone = true
 	for t := range x.locks {
-		m.removeLockXLocked(x, t)
+		i := m.partitionIndex(t)
+		byPart[i] = append(byPart[i], removal{t, x})
 	}
+	x.locks = nil
 	x.tuplesOnPage = nil
 	x.pagesOnRel = nil
+	x.lockMu.Unlock()
+	return byPart
+}
+
+// flushRemovalsLocked deletes the queued (target, holder) pairs from
+// the lock table, taking each partition mutex exactly once for the
+// whole batch — the release-side mirror of AcquireTupleLockBatch's
+// insert grouping. Caller holds m.mu.
+func (m *Manager) flushRemovalsLocked(byPart map[uint64][]removal) {
+	for i, rs := range byPart {
+		p := &m.parts[i]
+		p.mu.Lock()
+		for _, r := range rs {
+			if holders, ok := p.locks[r.t]; ok {
+				if _, held := holders[r.x]; held {
+					delete(holders, r.x)
+					m.locksCurrent.Add(-1)
+					if len(holders) == 0 {
+						delete(p.locks, r.t)
+					}
+				}
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// releaseLocksLocked removes every SIREAD lock x holds and bars new
+// acquisitions, sweeping each lock-table partition at most once.
+// Caller holds m.mu; x.lockMu is taken here.
+func (m *Manager) releaseLocksLocked(x *Xact) {
+	m.flushRemovalsLocked(m.collectLocksLocked(x, nil))
 }
 
 // DropOwnTupleLock implements the optimization of §7.3: a transaction may
@@ -244,11 +425,23 @@ func (m *Manager) PageSplit(rel string, left, right int64) {
 
 	for _, x := range holders {
 		x.lockMu.Lock()
-		m.insertLockXLocked(x, rt)
-		if x.pagesOnRel == nil {
-			x.pagesOnRel = make(map[string]int)
+		if !m.coveredXLocked(x, rt) && m.insertLockXLocked(x, rt) {
+			if x.pagesOnRel == nil {
+				x.pagesOnRel = make(map[string]int)
+			}
+			x.pagesOnRel[rel]++
+			// Apply the §5.2.1 capacity bound here too: a transaction
+			// accumulating page locks through index splits must hit the
+			// page→relation threshold exactly as if it had acquired
+			// them organically, or the promotion bookkeeping leaks
+			// (split-derived locks counted but never consolidated). The
+			// mu → lockMu → partition order permits the promotion from
+			// under m.mu.
+			if x.pagesOnRel[rel] > m.cfg.PromotePageToRel {
+				m.pagePromotions.Add(1)
+				m.promoteToRelationXLocked(x, rel)
+			}
 		}
-		x.pagesOnRel[rel]++ // promotion bookkeeping only
 		x.lockMu.Unlock()
 	}
 	if hasDummy {

@@ -101,6 +101,51 @@ import (
 //     sees the lock at one level or another: if the finer lock is
 //     already gone, the coarser one was inserted before the writer
 //     reached that coarser level.
+//
+// Batch paths (PR 5). The page-grained scan read path batches SIREAD
+// acquisition (AcquireTupleLockBatch) and the reclaimer batches release
+// (flushRemovalsLocked); both follow the same outer-to-inner order with
+// two refinements:
+//
+//   - A lock batch NEVER spans heap pages. The engine's scan groups the
+//     btree range result by the heap page of each row's visible version
+//     (storage.ReadPageBatch) and registers one page's tuples per call,
+//     from inside that page's shared read latch — so the PR 2 atomicity
+//     unit {visibility check, SIREAD registration} stays per page, and
+//     the level-0 rule (storage latch outside all core locks) is
+//     unchanged. Within a batch, x.lockMu is taken ONCE and the
+//     surviving inserts are grouped so each partition mutex is taken at
+//     most once — still one partition mutex at a time, so the ordering
+//     argument is unaffected; promotion bookkeeping runs once at batch
+//     end.
+//   - Batched release defers the partition-side holder removal: a
+//     reclaim pass freezes each victim's lock set under its lockMu
+//     (setting lockingDone and clearing x.locks), then sweeps each
+//     partition once for the whole batch. In the window between the
+//     two steps the lock table transiently contains holders whose own
+//     lock set is already empty. That desync is invisible: the entire
+//     pass holds Manager.mu, and every reader of another transaction's
+//     holder entries — CheckWrite's probes, PageSplit,
+//     PromoteRelationLocks, summarization — also requires Manager.mu,
+//     while mutex-free paths (acquire, DropOwnTupleLock) touch only
+//     their own transaction's entries.
+//
+// Finished-transaction insert audit (PR 5): insertLockXLocked has no
+// lockingDone guard, and PageSplit / PromoteRelationLocks call it for
+// holders that may already be committed — deliberately, since a
+// committed transaction's SIREAD locks must follow page splits until
+// reclamation (§5.2). This cannot leak a lock past release: every
+// release path (Abort, markSafeLocked, the reclaimer's drop, the §6.1
+// read-only sweep, and summarization) runs under Manager.mu, and
+// PageSplit / PromoteRelationLocks hold Manager.mu across {holder-set
+// snapshot, insert} — so either the release ran first (the transaction
+// is no longer a holder anywhere and receives nothing) or the insert
+// lands first and the release, which drains x.locks in the same
+// critical-section regime, removes it. Mutex-free acquire paths are
+// fenced per-transaction instead: lockingDone is set and checked under
+// x.lockMu. The quiesce regression test
+// TestPageSplitQuiesceAccounting pins the LockCount == LocksCurrent
+// consequence.
 
 // lockPartition is one shard of the SIREAD lock table.
 type lockPartition struct {
@@ -122,9 +167,9 @@ func newLockPartitions(n int) []lockPartition {
 	return parts
 }
 
-// partition returns the shard responsible for t, by FNV-1a hash of the
-// full target tag (relation, level, page, key).
-func (m *Manager) partition(t Target) *lockPartition {
+// partitionIndex returns the index of the shard responsible for t, by
+// FNV-1a hash of the full target tag (relation, level, page, key).
+func (m *Manager) partitionIndex(t Target) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -142,7 +187,12 @@ func (m *Manager) partition(t Target) *lockPartition {
 		h ^= uint64(t.Key[i])
 		h *= prime64
 	}
-	return &m.parts[h&m.partMask]
+	return h & m.partMask
+}
+
+// partition returns the shard responsible for t.
+func (m *Manager) partition(t Target) *lockPartition {
+	return &m.parts[m.partitionIndex(t)]
 }
 
 // bumpLocksCurrent adjusts the live-lock gauge and maintains the peak.

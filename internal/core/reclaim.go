@@ -124,10 +124,8 @@ func (m *Manager) reclaimGraphPass() {
 	m.retired = append([]*Xact(nil), m.retired[cut:]...)
 	m.retireMu.Unlock()
 
-	for _, c := range reclaim {
-		m.dropCommittedLocked(c)
-		m.stats.CleanedXacts++
-	}
+	m.dropCommittedBatchLocked(reclaim)
+	m.stats.CleanedXacts += int64(len(reclaim))
 	m.expireDummyLocksLocked(minSeq)
 
 	// The all-read-only gate must be recomputed now that m.mu is held:
@@ -151,8 +149,12 @@ func (m *Manager) reclaimGraphPass() {
 		m.retireMu.Lock()
 		swept := append([]*Xact(nil), m.retired...)
 		m.retireMu.Unlock()
+		var byPart map[uint64][]removal
 		for _, c := range swept {
-			m.releaseLocksLocked(c)
+			byPart = m.collectLocksLocked(c, byPart)
+		}
+		m.flushRemovalsLocked(byPart)
+		for _, c := range swept {
 			for r := range c.inConflicts {
 				r.edgeMu.Lock()
 				delete(r.outConflicts, c)

@@ -366,6 +366,175 @@ func pruneAborted(sh *shard, key string, mgr *mvcc.Manager) *Tuple {
 	return head
 }
 
+// BatchItem is one key's visibility-checked result within a page group
+// delivered by ReadPageBatch. Idx is the key's position in the input
+// slice, so callers can map grouped results back to their own per-key
+// state in O(1).
+type BatchItem struct {
+	Key string
+	Idx int
+	Res ReadResult
+}
+
+// ReadPageBatch performs visibility-checked reads of keys (which must be
+// free of duplicates), delivering results to fn grouped by the heap page
+// of the visible version: fn is invoked once per page with every key
+// whose visible version lives on that page, under that page's read
+// latch in shared mode when latched is true. Keys with no visible
+// version are grouped under page == -1 and delivered without a latch —
+// the phantom protection for absent keys is the index gap lock, exactly
+// as in Read. fn's first error aborts the batch and is returned.
+//
+// The grouping is what makes a serializable scan's lock path O(pages)
+// instead of O(rows): fn can hand the whole page's surviving tuples to
+// the SSI layer as one batched registration (core.AcquireTupleLockBatch)
+// while the PR 2 invariant still holds — the registration lands before
+// the latch of the page holding the visible versions is released, and a
+// batch NEVER spans heap pages, so each fn call is exactly one page's
+// {visibility, registration} critical section.
+//
+// Latched batches run in two passes: an unlatched prediction pass groups
+// keys by the page of their currently-visible version, then each group's
+// latch is acquired (shared, blocking, with no other lock held — the
+// same order as Read's contended-latch retry path) and every key's
+// visibility is recomputed under it; the latched result is the
+// authoritative one. A key whose visible version moved to a different
+// page between the passes falls back to the per-row Read path and is
+// delivered as a single-item batch, so every item handed to fn with a
+// page >= 0 is guaranteed to live on that page, under that page's latch.
+// Unlatched batches (non-tracking readers, who register nothing) take a
+// single streaming pass, grouping consecutive same-page results.
+func (t *Table) ReadPageBatch(keys []string, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manager, latched bool, fn func(page int64, items []BatchItem) error) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if !latched {
+		return t.readBatchUnlatched(keys, snap, self, mgr, fn)
+	}
+
+	// Prediction pass: an unlatched peek at each key's visible version,
+	// only to choose the page grouping. Results are discarded — the
+	// latched pass below recomputes them authoritatively.
+	type pageGroup struct {
+		page int64
+		idx  []int
+	}
+	var groups []pageGroup
+	gidx := make(map[int64]int, 8)
+	for i, k := range keys {
+		sh := t.shardFor(k)
+		sh.mu.Lock()
+		res := readChain(pruneAborted(sh, k, mgr), snap, self, mgr)
+		sh.mu.Unlock()
+		pg := int64(-1)
+		if res.Tuple != nil {
+			pg = res.Tuple.Page
+		}
+		g, ok := gidx[pg]
+		if !ok {
+			g = len(groups)
+			gidx[pg] = g
+			groups = append(groups, pageGroup{page: pg})
+		}
+		groups[g].idx = append(groups[g].idx, i)
+	}
+
+	var retry []int
+	items := make([]BatchItem, 0, TuplesPerPage)
+	for _, g := range groups {
+		t.simulateIO()
+		var latch *sync.RWMutex
+		if g.page >= 0 && !t.cfg.DisableReadLatch {
+			latch = t.latches.latch(g.page)
+			latch.RLock()
+		}
+		items = items[:0]
+		for _, ki := range g.idx {
+			k := keys[ki]
+			sh := t.shardFor(k)
+			sh.mu.Lock()
+			res := readChain(pruneAborted(sh, k, mgr), snap, self, mgr)
+			sh.mu.Unlock()
+			if res.Tuple != nil && res.Tuple.Page != g.page {
+				// The visible version moved between the passes (or
+				// appeared where none was predicted): this key's
+				// latch invariant cannot be met in this group.
+				retry = append(retry, ki)
+				continue
+			}
+			if h := t.cfg.Hooks.OnRead; h != nil {
+				h(t.name, k)
+			}
+			items = append(items, BatchItem{Key: k, Idx: ki, Res: res})
+		}
+		var err error
+		if len(items) > 0 {
+			err = fn(g.page, items)
+		}
+		if latch != nil {
+			latch.RUnlock()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Fallback for keys the prediction mispredicted: the per-row latched
+	// read, delivered as single-item batches.
+	for _, ki := range retry {
+		key, idx := keys[ki], ki
+		err := t.Read(key, snap, self, mgr, true, func(res ReadResult) error {
+			pg := int64(-1)
+			if res.Tuple != nil {
+				pg = res.Tuple.Page
+			}
+			return fn(pg, []BatchItem{{Key: key, Idx: idx, Res: res}})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBatchUnlatched is ReadPageBatch for readers that register no
+// SIREAD locks: one streaming pass, flushing a group whenever the
+// visible version's page changes (consecutive keys usually share pages,
+// so IO is still charged per page run, not per row).
+func (t *Table) readBatchUnlatched(keys []string, snap *mvcc.Snapshot, self mvcc.TxID, mgr *mvcc.Manager, fn func(page int64, items []BatchItem) error) error {
+	items := make([]BatchItem, 0, TuplesPerPage)
+	page := int64(-1)
+	flush := func() error {
+		if len(items) == 0 {
+			return nil
+		}
+		t.simulateIO()
+		err := fn(page, items)
+		items = items[:0]
+		return err
+	}
+	for i, k := range keys {
+		sh := t.shardFor(k)
+		sh.mu.Lock()
+		res := readChain(pruneAborted(sh, k, mgr), snap, self, mgr)
+		sh.mu.Unlock()
+		if h := t.cfg.Hooks.OnRead; h != nil {
+			h(t.name, k)
+		}
+		pg := int64(-1)
+		if res.Tuple != nil {
+			pg = res.Tuple.Page
+		}
+		if pg != page {
+			if err := flush(); err != nil {
+				return err
+			}
+			page = pg
+		}
+		items = append(items, BatchItem{Key: k, Idx: i, Res: res})
+	}
+	return flush()
+}
+
 // WriteResult describes a successful write for the benefit of the SSI
 // layer: which heap pages are involved so SIREAD locks can be checked and
 // the write-lock-drops-SIREAD optimization applied.

@@ -20,6 +20,13 @@ import (
 type SIBench struct {
 	// Rows is the table size N (the x-axis of Figure 4).
 	Rows int
+	// ScanRows, if nonzero, bounds each query transaction's scan to the
+	// first ScanRows keys instead of the whole table, making the
+	// scan-heavy mix tunable independently of the table size (the
+	// page-grained read path's O(pages) vs O(rows) behaviour is a
+	// function of the scanned range, not of N). Zero means full-table
+	// scans, the Figure 4 shape.
+	ScanRows int
 }
 
 const siTable = "sibench"
@@ -60,11 +67,16 @@ func (b SIBench) update(tx *pgssi.Tx, rng *rand.Rand) error {
 	return tx.Update(siTable, k, []byte(v))
 }
 
-// query scans the entire table to find the key with the lowest value.
+// query scans the table (bounded by ScanRows when set) to find the key
+// with the lowest value.
 func (b SIBench) query(tx *pgssi.Tx, _ *rand.Rand) error {
+	hi := ""
+	if b.ScanRows > 0 && b.ScanRows < b.Rows {
+		hi = sibenchKey(b.ScanRows)
+	}
 	best := ""
 	bestVal := 1 << 62
-	err := tx.Scan(siTable, "", "", func(k string, v []byte) bool {
+	err := tx.Scan(siTable, "", hi, func(k string, v []byte) bool {
 		n, _ := strconv.Atoi(string(v))
 		if best == "" || n < bestVal {
 			best, bestVal = k, n
@@ -104,9 +116,17 @@ func Figure4(rows []int, opts RunOptions) ([]SIBenchSeries, error) {
 // every series, used to sweep engine knobs (e.g. SIREAD lock-table
 // partitions) across the benchmark.
 func Figure4Cfg(rows []int, base pgssi.Config, opts RunOptions) ([]SIBenchSeries, error) {
+	return Figure4Scan(rows, 0, base, opts)
+}
+
+// Figure4Scan is Figure4Cfg with a bounded scan range: scanRows > 0
+// caps each query transaction's scan at that many keys (see
+// SIBench.ScanRows), which is how cmd/sibench's -scanrows flag makes
+// the scan-heavy mix reproducible at a chosen scan length.
+func Figure4Scan(rows []int, scanRows int, base pgssi.Config, opts RunOptions) ([]SIBenchSeries, error) {
 	var out []SIBenchSeries
 	for _, n := range rows {
-		b := SIBench{Rows: n}
+		b := SIBench{Rows: n, ScanRows: scanRows}
 		si, err := b.Run(base, withLevel(opts, pgssi.RepeatableRead))
 		if err != nil {
 			return nil, err

@@ -28,6 +28,17 @@ type storageTuple = storage.Tuple
 // it): once the writer is visible in the version chain the conflict can
 // always be recovered from MVCC data (§5.2), and the writer stays
 // tracked while any concurrent reader is active.
+//
+// Point reads (Get) take the latch and register per row. Scans run at
+// page grain instead: storage.ReadPageBatch groups the range result by
+// the heap page of each row's visible version, holds that page's shared
+// latch across the whole page's visibility checks, and the engine
+// registers the page's SIREAD locks in one core.AcquireTupleLockBatch
+// call before the latch drops — the same atomicity unit, amortized from
+// O(rows) to O(pages) lock-path acquisitions (§5.2.1's granularity
+// hierarchy is what makes the page the natural batch unit; a batch
+// never spans pages). Config.DisableScanBatch restores the per-row
+// path for A/B comparison.
 
 // Get returns the value of key in table visible to the transaction, or
 // ErrNotFound. Under Serializable it acquires a SIREAD lock on the tuple
@@ -292,6 +303,101 @@ func (tx *Tx) Scan(table, lo, hi string, fn func(key string, value []byte) bool)
 		keys = append(keys, k)
 		return true
 	})
+	if tx.db.cfg.DisableScanBatch {
+		return tx.scanRowsPerRow(ti, table, keys, snap, tracking, fn)
+	}
+	return tx.scanRowsBatched(ti, table, keys, snap, tracking, fn)
+}
+
+// scanRowsBatched is the page-grained scan read path: the btree range
+// result is grouped by the heap page of each row's visible version
+// (storage.ReadPageBatch), each page is latched once in shared mode,
+// and the page's surviving SIREAD inserts go to the lock manager as ONE
+// batch (core.AcquireTupleLockBatch) before the latch drops — the PR 2
+// {visibility, registration} atomicity preserved per page, at O(pages)
+// lock-path acquisitions instead of O(rows). MVCC conflict-out sets are
+// still flagged once per scan afterwards (safe out of the latch, see
+// the file comment), and rows are delivered after all checks so fn
+// never runs under a latch.
+func (tx *Tx) scanRowsBatched(ti *tableInfo, table string, keys []string, snap *mvcc.Snapshot, tracking bool, fn func(key string, value []byte) bool) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	var conflicts []mvcc.TxID
+	err := ti.heap.ReadPageBatch(keys, snap, tx.xid, tx.db.mvcc, tracking, tx.batchReader(table, &conflicts, func(idx int, value []byte) {
+		vals[idx] = value
+		found[idx] = true
+	}))
+	if err != nil {
+		return mapStorageErr(err)
+	}
+	if tx.x != nil {
+		if err := tx.db.ssi.CheckScanConflicts(tx.x, conflicts); err != nil {
+			return mapStorageErr(err)
+		}
+	}
+	for i, k := range keys {
+		if found[i] && !fn(k, vals[i]) {
+			break
+		}
+	}
+	return nil
+}
+
+// batchReader builds the storage.ReadPageBatch callback shared by Scan
+// and ScanIndex's batch paths: it collects each page's MVCC
+// conflict-out sets, registers the page's surviving SIREAD locks in one
+// AcquireTupleLockBatch call while the page latch is held (skipping
+// keys the transaction wrote itself), and hands each visible row to
+// setVal with its input-slice index. Once the lock manager reports a
+// relation-granularity lock covers the table, the remaining pages'
+// registrations are skipped — the lock set only ever coarsens, so the
+// answer stays true for the rest of the scan.
+func (tx *Tx) batchReader(table string, conflicts *[]mvcc.TxID, setVal func(idx int, value []byte)) func(page int64, items []storage.BatchItem) error {
+	var lockKeys []string
+	relCovered := false
+	return func(page int64, items []storage.BatchItem) error {
+		switch {
+		case tx.x == nil:
+		case relCovered || page < 0:
+			// Covered (or an unlatched invisible-key group): nothing to
+			// register, only the MVCC conflicts matter.
+			for i := range items {
+				*conflicts = append(*conflicts, items[i].Res.ConflictOut...)
+			}
+		default:
+			lockKeys = lockKeys[:0]
+			for i := range items {
+				it := &items[i]
+				*conflicts = append(*conflicts, it.Res.ConflictOut...)
+				if it.Res.Tuple != nil && !tx.owns(table, it.Key) {
+					lockKeys = append(lockKeys, it.Key)
+				}
+			}
+			if len(lockKeys) > 0 {
+				covered, err := tx.db.ssi.AcquireTupleLockBatch(tx.x, table, page, lockKeys)
+				if err != nil {
+					return err
+				}
+				relCovered = covered
+			}
+		}
+		for i := range items {
+			it := &items[i]
+			if it.Res.Tuple != nil {
+				setVal(it.Idx, it.Res.Tuple.Value)
+			}
+		}
+		return nil
+	}
+}
+
+// scanRowsPerRow is the legacy per-row scan read path (one latched Read
+// and one CheckRead per row), kept behind Config.DisableScanBatch as
+// the A/B ablation for the batched path above.
+func (tx *Tx) scanRowsPerRow(ti *tableInfo, table string, keys []string, snap *mvcc.Snapshot, tracking bool, fn func(key string, value []byte) bool) error {
 	// Each row's SIREAD lock is inserted in the Read callback, under
 	// that row's page latch; the MVCC conflict-out sets are flagged in
 	// one batch afterwards (one SSI-mutex critical section per scan,
@@ -373,16 +479,72 @@ func (tx *Tx) ScanIndex(table, idx, lo, hi string, fn func(key string, value []b
 			tx.db.ssi.AcquirePageLock(tx.x, si.name, int64(p))
 		}
 	}
-	type hit struct{ ik, pk string }
-	var hits []hit
+	var hits []indexHit
 	si.tree.Range(elo, ehi, onPage, func(entryKey, pk string) bool {
 		ik := entryKey
 		if n := len(pk); len(entryKey) > n && entryKey[len(entryKey)-n-1] == 0 {
 			ik = entryKey[:len(entryKey)-n-1]
 		}
-		hits = append(hits, hit{ik, pk})
+		hits = append(hits, indexHit{ik, pk})
 		return true
 	})
+	if tx.db.cfg.DisableScanBatch {
+		return tx.scanIndexPerRow(ti, table, si, hits, snap, tracking, fn)
+	}
+	// Page-grained batch path, as in Scan. Index entries are retained
+	// for every row version, so the same primary key can appear under
+	// several (stale) index keys; one visibility-checked read per unique
+	// pk covers them all — the SIREAD lock is taken under the page latch
+	// even for hits the recheck filters out (the read happened, so the
+	// version must stay protected), and each hit is rechecked against
+	// the visible row it resolved to.
+	pks := make([]string, 0, len(hits))
+	pos := make(map[string]int, len(hits))
+	for _, h := range hits {
+		if _, ok := pos[h.pk]; !ok {
+			pos[h.pk] = len(pks)
+			pks = append(pks, h.pk)
+		}
+	}
+	vals := make([][]byte, len(pks))
+	found := make([]bool, len(pks))
+	var conflicts []mvcc.TxID
+	err = ti.heap.ReadPageBatch(pks, snap, tx.xid, tx.db.mvcc, tracking, tx.batchReader(table, &conflicts, func(idx int, value []byte) {
+		vals[idx] = value
+		found[idx] = true
+	}))
+	if err != nil {
+		return mapStorageErr(err)
+	}
+	if tx.x != nil {
+		if err := tx.db.ssi.CheckScanConflicts(tx.x, conflicts); err != nil {
+			return mapStorageErr(err)
+		}
+	}
+	for _, h := range hits {
+		p := pos[h.pk]
+		if !found[p] {
+			continue
+		}
+		ik, ok := si.fn(h.pk, vals[p])
+		if !ok || ik != h.ik {
+			continue
+		}
+		if !fn(h.pk, vals[p]) {
+			break
+		}
+	}
+	return nil
+}
+
+// indexHit is one secondary-index range entry: the index key it was
+// filed under and the primary key it names.
+type indexHit struct{ ik, pk string }
+
+// scanIndexPerRow is the legacy per-row index-scan read path — the
+// ScanIndex analogue of scanRowsPerRow, kept behind
+// Config.DisableScanBatch as the A/B ablation for the batched path.
+func (tx *Tx) scanIndexPerRow(ti *tableInfo, table string, si *secondaryIndex, hits []indexHit, snap *mvcc.Snapshot, tracking bool, fn func(key string, value []byte) bool) error {
 	type row struct {
 		pk    string
 		value []byte
