@@ -1,0 +1,161 @@
+// Command pgload drives a pgssid server with open-loop load: arrivals
+// at a fixed or Poisson rate (not closed-loop workers, so queueing
+// collapse is visible instead of hidden), zipfian key skew over a large
+// keyspace, and HDR-style latency reporting (p50/p99/p999 measured from
+// each arrival's scheduled time, queueing delay included).
+//
+// Example, against `pgssid -preload 1000000`:
+//
+//	pgload -addr :6432 -rate 3000 -duration 30s -keys 1000000 -zipf 1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"pgssi"
+	"pgssi/internal/wire"
+	"pgssi/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:6432", "server address")
+		rate      = flag.Float64("rate", 2000, "offered arrival rate (txn/s)")
+		duration  = flag.Duration("duration", 10*time.Second, "load duration")
+		arrival   = flag.String("arrival", "poisson", "arrival process: poisson or fixed")
+		conns     = flag.Int("conns", 16, "client connections (transactions in flight share these)")
+		keys      = flag.Int("keys", 1_000_000, "keyspace size (must match the server's -preload)")
+		zipfS     = flag.Float64("zipf", 1.1, "zipfian skew exponent (<=1 = uniform)")
+		reads     = flag.Int("reads", 2, "gets per transaction")
+		writes    = flag.Int("writes", 1, "puts per transaction")
+		valueSize = flag.Int("valuesize", 16, "written value size in bytes")
+		isolation = flag.String("iso", "serializable", "isolation: serializable, repeatableread, readcommitted, s2pl")
+		retries   = flag.Int("retries", 3, "serialization-failure retries per arrival")
+		pending   = flag.Int("maxpending", 4096, "max transactions in flight before arrivals are dropped")
+		seed      = flag.Uint64("seed", 1, "rng seed")
+		histPath  = flag.String("hist", "", "write the latency histogram to this file")
+		table     = flag.String("table", "kv", "target table")
+		wait      = flag.Duration("wait", 60*time.Second, "how long to retry the initial connection (server may still be preloading)")
+	)
+	flag.Parse()
+	log.SetPrefix("pgload: ")
+	log.SetFlags(0)
+
+	level, err := parseIsolation(*isolation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr := workload.ArrivalPoisson
+	switch *arrival {
+	case "poisson":
+	case "fixed":
+		arr = workload.ArrivalFixed
+	default:
+		log.Fatalf("unknown arrival process %q", *arrival)
+	}
+
+	// Dial the pool, retrying while the server preloads.
+	clients := make([]*wire.Client, *conns)
+	deadline := time.Now().Add(*wait)
+	for i := range clients {
+		for {
+			c, err := wire.Dial(*addr, wire.DialOptions{Timeout: 30 * time.Second})
+			if err == nil {
+				if st := c.Ping(); st.OK() {
+					clients[i] = c
+					break
+				}
+				c.Close()
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("cannot reach %s: %v", *addr, err)
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	job := workload.KVJob{
+		Table:     *table,
+		Keys:      *keys,
+		ZipfS:     *zipfS,
+		Reads:     *reads,
+		Writes:    *writes,
+		ValueSize: *valueSize,
+		Isolation: level,
+	}
+	// One transaction body per connection; an arrival checks a
+	// connection out for its whole transaction (waiting for one counts
+	// toward its latency, as queueing should).
+	txns := make([]func(*rand.Rand) error, len(clients))
+	for i, c := range clients {
+		txns[i] = job.Txn(c)
+	}
+	pool := make(chan int, len(clients))
+	for i := range clients {
+		pool <- i
+	}
+
+	log.Printf("driving %s: rate=%.0f/s %s arrivals, %s, keys=%d zipf=%.2f, %d reads + %d writes per txn, iso=%s, %d conns",
+		*addr, *rate, arr, *duration, *keys, *zipfS, *reads, *writes, level, *conns)
+	res := workload.RunOpenLoop(workload.OpenLoopOptions{
+		Rate:       *rate,
+		Duration:   *duration,
+		Arrival:    arr,
+		MaxPending: *pending,
+		MaxRetries: *retries,
+		Seed:       *seed,
+	}, func(rng *rand.Rand) error {
+		i := <-pool
+		defer func() { pool <- i }()
+		return txns[i](rng)
+	})
+
+	fmt.Println(res)
+	for _, c := range clients {
+		if err := c.Err(); err != nil {
+			log.Printf("connection error: %v", err)
+			break
+		}
+	}
+	if *histPath != "" {
+		f, err := os.Create(*histPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := res.Hist.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("histogram written to %s", *histPath)
+	}
+	if res.Errors > 0 {
+		log.Fatalf("%d non-retryable errors", res.Errors)
+	}
+}
+
+func parseIsolation(s string) (pgssi.IsolationLevel, error) {
+	switch s {
+	case "serializable", "ssi":
+		return pgssi.Serializable, nil
+	case "repeatableread", "si":
+		return pgssi.RepeatableRead, nil
+	case "readcommitted", "rc":
+		return pgssi.ReadCommitted, nil
+	case "s2pl", "2pl":
+		return pgssi.SerializableS2PL, nil
+	default:
+		return 0, fmt.Errorf("unknown isolation level %q", s)
+	}
+}

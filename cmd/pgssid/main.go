@@ -1,0 +1,100 @@
+// Command pgssid serves a pgssi database over TCP using the
+// length-prefixed wire protocol (docs/protocol.md): one session per
+// connection, read/write deadlines, a connection limit, and graceful
+// drain on SIGTERM/SIGINT (stop accepting, refuse new Begins, let
+// in-flight transactions finish or abort after -drain-timeout, then
+// close and quiesce the engine).
+//
+// Example:
+//
+//	pgssid -addr :6432 -tables kv -preload 1000000
+//	pgload -addr :6432 -rate 3000 -duration 30s -keys 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"pgssi"
+	"pgssi/internal/server"
+	"pgssi/internal/workload"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":6432", "listen address")
+		tables       = flag.String("tables", "kv", "comma-separated tables to create at startup")
+		preload      = flag.Int("preload", 0, "rows to preload into the first table (keys k00000000..)")
+		valueSize    = flag.Int("valuesize", 16, "preloaded value size in bytes")
+		maxConns     = flag.Int("maxconns", 1024, "connection limit (0 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "per-request read deadline")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound for in-flight transactions")
+		partitions   = flag.Int("partitions", 0, "SIREAD lock table partitions (0 = default)")
+	)
+	flag.Parse()
+	log.SetPrefix("pgssid: ")
+	log.SetFlags(0)
+
+	db := pgssi.Open(pgssi.Config{Partitions: *partitions})
+	names := strings.Split(*tables, ",")
+	for _, t := range names {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if err := db.CreateTable(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *preload > 0 {
+		start := time.Now()
+		if err := preloadTable(db, strings.TrimSpace(names[0]), *preload, *valueSize); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("preloaded %d rows into %q in %s", *preload, names[0], time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drainTimeout,
+		Logf:         log.Printf,
+	})
+	srv.DrainOnSignal()
+	log.Printf("listening on %s (tables=%s preload=%d maxconns=%d)", *addr, *tables, *preload, *maxConns)
+	err := srv.ListenAndServe(*addr)
+	if err != nil && err != server.ErrServerClosed {
+		log.Fatal(err)
+	}
+	db.Close()
+	log.Printf("drained, bye")
+	os.Exit(0)
+}
+
+// preloadTable inserts rows in chunked ReadCommitted transactions (no
+// SSI bookkeeping needed for a single-writer bulk load).
+func preloadTable(db *pgssi.DB, table string, rows, valueSize int) error {
+	value := []byte(strings.Repeat("v", max(valueSize, 1)))
+	const chunk = 5000
+	for lo := 0; lo < rows; lo += chunk {
+		hi := min(lo+chunk, rows)
+		err := db.RunTx(pgssi.TxOptions{Isolation: pgssi.ReadCommitted}, func(tx *pgssi.Tx) error {
+			for i := lo; i < hi; i++ {
+				if err := tx.Insert(table, workload.LoadKey(i), value); err != nil {
+					return fmt.Errorf("preload %s: %w", workload.LoadKey(i), err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,11 +19,27 @@
 //
 // Transactions aborted with a serialization failure
 // (IsSerializationFailure(err)) should simply be retried; see RunTx.
+//
+// Besides the error-based Tx API above, the engine exposes a
+// transport-agnostic session layer: DB.NewSession returns a Session, a
+// handle-based facade (begin/get/scan/put/delete/commit/rollback by
+// transaction handle) that reports outcomes as typed Status codes
+// instead of Go errors. The session layer is what a network front-end
+// serves — cmd/pgssid speaks it over TCP using the length-prefixed
+// binary protocol of internal/wire (see docs/protocol.md), and
+// internal/wire.Client is a remote Session with the same method set —
+// and the open-loop load generator (internal/workload, cmd/pgload)
+// drives either implementation interchangeably.
+//
+// A DB that is no longer needed should be shut down with Close, which
+// quiesces the background epoch reclaimer and rejects new transactions.
 package pgssi
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgssi/internal/btree"
@@ -79,6 +95,13 @@ type TxOptions struct {
 	// until a safe snapshot is available (§4.3); the transaction then
 	// runs entirely free of SSI overhead and cannot abort.
 	Deferrable bool
+	// MaxAttempts bounds RunTx's serialization-failure retry loop
+	// (0 = DefaultMaxAttempts). Ignored by Begin.
+	MaxAttempts int
+	// RetryBackoff is the base of RunTx's jittered exponential backoff
+	// between retries (0 = DefaultRetryBackoff, negative = no backoff).
+	// Ignored by Begin.
+	RetryBackoff time.Duration
 }
 
 // Config configures a DB. The zero value is a sensible in-memory
@@ -259,11 +282,12 @@ type tableInfo struct {
 
 // DB is the database engine.
 type DB struct {
-	cfg  Config
-	mvcc *mvcc.Manager
-	ssi  *core.Manager
-	s2pl *s2pl.Manager
-	wg   *waitgraph.Graph
+	cfg    Config
+	closed atomic.Bool
+	mvcc   *mvcc.Manager
+	ssi    *core.Manager
+	s2pl   *s2pl.Manager
+	wg     *waitgraph.Graph
 
 	mu     sync.RWMutex
 	tables map[string]*tableInfo
@@ -378,30 +402,106 @@ func (db *DB) AttachWAL(log *wal.Log) {
 	db.walLog = log
 }
 
+// Retry-loop defaults for RunTx (see TxOptions.MaxAttempts and
+// TxOptions.RetryBackoff).
+const (
+	// DefaultMaxAttempts is the RunTx retry bound when
+	// TxOptions.MaxAttempts is zero. Generous — under SSI's safe-retry
+	// rules an immediate retry usually succeeds — but finite, so a
+	// pathological conflict cycle surfaces as ErrRetriesExhausted
+	// instead of spinning unbounded.
+	DefaultMaxAttempts = 64
+	// DefaultRetryBackoff is the base of the jittered exponential
+	// backoff between retries when TxOptions.RetryBackoff is zero.
+	DefaultRetryBackoff = 50 * time.Microsecond
+	// maxRetryBackoff caps the exponential backoff.
+	maxRetryBackoff = 10 * time.Millisecond
+)
+
 // RunTx runs fn in a transaction with the given options, retrying on
 // serialization failures — the "middleware layer that automatically
 // retries transactions" the paper assumes (§3). fn may be invoked
 // multiple times; it must not keep side effects across attempts. Any
 // other error rolls back and is returned.
+//
+// The retry loop is bounded (TxOptions.MaxAttempts, default
+// DefaultMaxAttempts) with jittered exponential backoff between
+// attempts (TxOptions.RetryBackoff); on exhaustion it returns an error
+// matching both ErrRetriesExhausted and ErrSerialization. Use
+// RunTxAttempts to additionally observe how many attempts were made.
 func (db *DB) RunTx(opts TxOptions, fn func(tx *Tx) error) error {
-	for {
-		tx, err := db.Begin(opts)
-		if err != nil {
-			return err
+	_, err := db.RunTxAttempts(opts, fn)
+	return err
+}
+
+// RunTxAttempts is RunTx, additionally reporting the number of attempts
+// made (≥ 1 unless Begin itself failed).
+func (db *DB) RunTxAttempts(opts TxOptions, fn func(tx *Tx) error) (attempts int, err error) {
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	backoff := opts.RetryBackoff
+	if backoff == 0 {
+		backoff = DefaultRetryBackoff
+	}
+	for attempts = 1; ; attempts++ {
+		tx, berr := db.Begin(opts)
+		if berr != nil {
+			return attempts - 1, berr
 		}
 		err = fn(tx)
 		if err == nil {
 			err = tx.Commit()
 			if err == nil {
-				return nil
+				return attempts, nil
 			}
 		} else {
 			tx.Rollback()
 		}
 		if !IsSerializationFailure(err) {
-			return err
+			return attempts, err
+		}
+		if attempts >= maxAttempts {
+			return attempts, &retriesExhaustedError{attempts: attempts, last: err}
+		}
+		if backoff > 0 {
+			// Exponential backoff with ±50% jitter, capped: spreads a
+			// conflicting herd apart without parking anyone for long.
+			d := backoff << uint(min(attempts-1, 20))
+			if d > maxRetryBackoff {
+				d = maxRetryBackoff
+			}
+			time.Sleep(d/2 + rand.N(d))
 		}
 	}
+}
+
+// Close shuts the database down: new transactions are rejected with
+// ErrClosed, the SSI epoch reclaimer is stopped (after a final
+// synchronous reclamation pass, so a quiesced DB retains no background
+// goroutine), and the WAL attachment is flushed and detached. In-flight
+// transactions may still commit or roll back, but their deferred
+// cleanup is not reclaimed; drain them first (as cmd/pgssid's graceful
+// shutdown does). Close is idempotent.
+func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Stop the reclaimer: waits for a running background pass to finish
+	// and prevents new spawns, then runs one final synchronous pass so
+	// everything already reclaimable is dropped.
+	db.ssi.Close()
+	// Flush the WAL attachment: emit a final safe-snapshot marker if the
+	// system is quiescent (a replica consuming the log can then serve
+	// serializable reads up to the shutdown point, §7.2) and detach.
+	db.walMu.Lock()
+	if db.walLog != nil && db.mvcc.ActiveCount() == 0 {
+		db.walLog.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), SafeSnapshot: true})
+	}
+	db.walLog = nil
+	db.walMu.Unlock()
+	return nil
 }
 
 // Vacuum removes dead tuple versions no longer visible to any possible

@@ -36,6 +36,16 @@ var (
 	ErrPrepared = errors.New("pgssi: transaction is prepared")
 	// ErrNoSavepoint reports a rollback to an unknown savepoint.
 	ErrNoSavepoint = errors.New("pgssi: no such savepoint")
+	// ErrClosed reports an operation against a closed DB.
+	ErrClosed = errors.New("pgssi: database is closed")
+	// ErrInvalidHandle reports a session operation on an unknown
+	// transaction handle.
+	ErrInvalidHandle = errors.New("pgssi: invalid transaction handle")
+	// ErrRetriesExhausted reports that RunTx gave up after its bounded
+	// number of serialization-failure retries. It wraps the last
+	// failure, so IsSerializationFailure still reports true — the
+	// caller may apply its own, slower retry policy.
+	ErrRetriesExhausted = errors.New("pgssi: transaction retries exhausted")
 )
 
 // IsSerializationFailure reports whether err is a retryable concurrency
@@ -62,6 +72,22 @@ func (e *serializationError) Is(target error) bool {
 func serializationFailure(cause string) error {
 	return &serializationError{cause: cause}
 }
+
+// retriesExhaustedError is returned by RunTx when the bounded retry loop
+// gives up; it matches both ErrRetriesExhausted and (via the wrapped
+// last failure) ErrSerialization.
+type retriesExhaustedError struct {
+	attempts int
+	last     error
+}
+
+func (e *retriesExhaustedError) Error() string {
+	return fmt.Sprintf("%v after %d attempts: %v", ErrRetriesExhausted, e.attempts, e.last)
+}
+
+func (e *retriesExhaustedError) Is(target error) bool { return target == ErrRetriesExhausted }
+
+func (e *retriesExhaustedError) Unwrap() error { return e.last }
 
 // mapStorageErr converts storage-layer errors into engine errors.
 func mapStorageErr(err error) error {

@@ -1,0 +1,84 @@
+// Session-layer walkthrough: the handle-based, status-coded facade
+// that transports speak (cmd/pgssid serves exactly this API over TCP;
+// wire.Client mirrors it call for call). Compare examples/quickstart,
+// which uses the in-process *Tx API directly — the session layer is
+// the same engine behind handles and one-byte Status results instead
+// of Go errors, so a client can branch on outcomes without string
+// matching, the way PostgreSQL clients branch on SQLSTATE.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgssi"
+)
+
+func main() {
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+
+	sess := db.NewSession()
+
+	// DDL and transaction control are all status-coded.
+	if st := sess.CreateTable("oncall"); !st.OK() {
+		log.Fatalf("create table: %v", st)
+	}
+
+	// Seed two rows. A handle names the transaction; the session owns
+	// the *Tx behind it.
+	h, st := sess.Begin(pgssi.Serializable, false, false)
+	if !st.OK() {
+		log.Fatalf("begin: %v", st)
+	}
+	for _, who := range []string{"alice", "bob"} {
+		if st := sess.Insert(h, "oncall", who, []byte("on")); !st.OK() {
+			log.Fatalf("insert %s: %v", who, st)
+		}
+	}
+	if st := sess.Commit(h); !st.OK() {
+		log.Fatalf("commit: %v", st)
+	}
+
+	// The canonical write-skew pair through two sessions: each reads
+	// both rows, then updates the one the other read. SSI aborts
+	// exactly one with StatusSerializationFailure — which Retryable()
+	// reports, so the retry loop needs no error inspection.
+	s1, s2 := db.NewSession(), db.NewSession()
+	h1, _ := s1.Begin(pgssi.Serializable, false, false)
+	h2, _ := s2.Begin(pgssi.Serializable, false, false)
+	for _, who := range []string{"alice", "bob"} {
+		s1.Get(h1, "oncall", who)
+		s2.Get(h2, "oncall", who)
+	}
+	st1 := s1.Update(h1, "oncall", "alice", []byte("off"))
+	st2 := s2.Update(h2, "oncall", "bob", []byte("off"))
+	if st1.OK() {
+		st1 = s1.Commit(h1)
+	} else {
+		s1.Rollback(h1)
+	}
+	if st2.OK() {
+		st2 = s2.Commit(h2)
+	} else {
+		s2.Rollback(h2)
+	}
+	fmt.Printf("write skew: session 1 → %v, session 2 → %v\n", st1, st2)
+	if st1.Retryable() == st2.Retryable() {
+		log.Fatal("expected exactly one serialization failure")
+	}
+
+	// Read the outcome back through a read-only handle and a scan.
+	h, st = sess.Begin(pgssi.Serializable, true, false)
+	if !st.OK() {
+		log.Fatalf("begin ro: %v", st)
+	}
+	rows, st := sess.Scan(h, "oncall", "", "", 0)
+	if !st.OK() {
+		log.Fatalf("scan: %v", st)
+	}
+	for _, kv := range rows {
+		fmt.Printf("  %-6s %s\n", kv.Key, kv.Value)
+	}
+	sess.Commit(h)
+}

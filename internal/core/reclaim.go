@@ -42,6 +42,11 @@ type reclaimer struct {
 	mu      sync.Mutex
 	running bool
 	pending bool
+	// closed permanently disables background passes (Manager.Close):
+	// wakeReclaimer becomes a no-op and a running loop exits at its
+	// next iteration. idle is broadcast whenever running goes false.
+	closed bool
+	idle   *sync.Cond
 	// passMu serializes whole reclaim passes: a pass pops retired
 	// entries and then drops their state in separate critical sections,
 	// and without pass-level mutual exclusion ReclaimNow could return
@@ -51,10 +56,14 @@ type reclaimer struct {
 }
 
 // wakeReclaimer requests a background pass, spawning the goroutine if
-// none is running.
+// none is running. After Close it is a no-op.
 func (m *Manager) wakeReclaimer() {
 	r := &m.rec
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
 	r.pending = true
 	if !r.running {
 		r.running = true
@@ -67,8 +76,12 @@ func (m *Manager) reclaimLoop() {
 	for {
 		r := &m.rec
 		r.mu.Lock()
-		if !r.pending {
+		if !r.pending || r.closed {
+			r.pending = false
 			r.running = false
+			if r.idle != nil {
+				r.idle.Broadcast()
+			}
 			r.mu.Unlock()
 			return
 		}
@@ -76,6 +89,26 @@ func (m *Manager) reclaimLoop() {
 		r.mu.Unlock()
 		m.reclaimPass()
 	}
+}
+
+// Close stops the background reclaimer permanently: it waits for any
+// running pass to finish, prevents new spawns, and runs one final
+// synchronous pass so everything already reclaimable is dropped. Part of
+// DB.Close's quiesce; in-process users who Open a DB and discard it
+// without Close merely leave an idle (lazily-spawned, already-exited)
+// reclaimer behind, but a server must stop it deterministically.
+func (m *Manager) Close() {
+	r := &m.rec
+	r.mu.Lock()
+	r.closed = true
+	if r.idle == nil {
+		r.idle = sync.NewCond(&r.mu)
+	}
+	for r.running {
+		r.idle.Wait()
+	}
+	r.mu.Unlock()
+	m.ReclaimNow()
 }
 
 // ReclaimNow runs one synchronous reclamation pass: everything whose

@@ -1,0 +1,337 @@
+// Package server implements pgssid's TCP front-end: one pgssi.Session
+// per connection, served over the length-prefixed wire protocol
+// (internal/wire, docs/protocol.md).
+//
+// The server owns the transport concerns the engine does not: read and
+// write deadlines, a connection limit, and graceful drain. Shutdown
+// (typically SIGTERM via DrainOnSignal) stops accepting, refuses new
+// Begin requests with StatusShuttingDown, lets connections with
+// in-flight transactions keep issuing requests until they commit or
+// roll back, and force-closes whatever remains after the drain timeout
+// (open transactions are rolled back by the connection cleanup).
+package server
+
+import (
+	"errors"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pgssi"
+	"pgssi/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after a graceful Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config configures a Server. The zero value serves with no connection
+// limit, a 5-minute idle timeout, and a 10-second drain timeout.
+type Config struct {
+	// MaxConns caps concurrently served connections; further accepts
+	// are closed immediately. 0 means unlimited.
+	MaxConns int
+	// IdleTimeout is the per-request read deadline: a connection that
+	// sends nothing for this long is closed (its open transactions are
+	// rolled back). 0 defaults to 5 minutes; negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. 0 defaults to 30s;
+	// negative disables.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight transactions.
+	// 0 defaults to 10s.
+	DrainTimeout time.Duration
+	// Logf, if non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server serves a pgssi.DB over TCP.
+type Server struct {
+	db  *pgssi.DB
+	cfg Config
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[*conn]struct{}
+	wg       sync.WaitGroup
+
+	draining     atomic.Bool
+	drainStarted chan struct{}
+	done         chan struct{}
+	shutdownOnce sync.Once
+}
+
+// conn is one served connection.
+type conn struct {
+	net.Conn
+	sess *pgssi.Session
+}
+
+// New returns a server over db.
+func New(db *pgssi.DB, cfg Config) *Server {
+	return &Server{
+		db:           db,
+		cfg:          cfg.withDefaults(),
+		conns:        make(map[*conn]struct{}),
+		drainStarted: make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// DrainStarted is closed when a shutdown begins (observability for
+// tests and operators).
+func (s *Server) DrainStarted() <-chan struct{} { return s.drainStarted }
+
+// Serve accepts connections on l until Shutdown, then returns
+// ErrServerClosed once the drain completes. Accept errors other than
+// listener closure are returned as-is.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	var active atomic.Int64
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				<-s.done
+				return ErrServerClosed
+			}
+			return err
+		}
+		if s.cfg.MaxConns > 0 && active.Load() >= int64(s.cfg.MaxConns) {
+			s.cfg.Logf("server: connection limit (%d) reached, refusing %v", s.cfg.MaxConns, nc.RemoteAddr())
+			nc.Close()
+			continue
+		}
+		c := &conn{Conn: nc, sess: s.db.NewSession()}
+		s.mu.Lock()
+		if s.draining.Load() {
+			// Raced a concurrent Shutdown's conn sweep: don't serve.
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		active.Add(1)
+		go func() {
+			defer active.Add(-1)
+			s.serveConn(c)
+		}()
+	}
+}
+
+// removeConn untracks a finished connection.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serveConn runs one connection's request loop.
+func (s *Server) serveConn(c *conn) {
+	defer s.wg.Done()
+	defer s.removeConn(c)
+	// Rolling back open transactions is the last thing that happens, so
+	// a force-closed connection cannot leak transactions (or their
+	// SIREAD locks past the reclaimer's horizon).
+	defer c.sess.Close()
+	defer c.Close()
+
+	var frame, out []byte
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		body, err := wire.ReadFrame(c.Conn, frame)
+		if err != nil {
+			// EOF, deadline, forced close, or a framing error (after
+			// which the stream offset is unknown): drop the connection.
+			return
+		}
+		frame = body[:0]
+		req, derr := wire.DecodeRequest(body)
+		var resp wire.Response
+		fatal := false
+		if derr != nil {
+			// The frame itself was well-formed, so framing is still
+			// synchronized; report the bad message, then close anyway —
+			// a client that builds undecodable requests is broken.
+			resp = wire.Response{Status: pgssi.StatusInvalidRequest}
+			fatal = true
+		} else {
+			resp = s.dispatch(c.sess, &req)
+		}
+		if s.cfg.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		out = wire.AppendResponse(out[:0], &resp)
+		if err := wire.WriteFrame(c.Conn, out); err != nil {
+			return
+		}
+		if fatal {
+			return
+		}
+		// During a drain, a connection is closed as soon as it has no
+		// transaction in flight; one that does keeps being served so it
+		// can finish (commit or roll back), up to the drain timeout.
+		if s.draining.Load() && c.sess.Open() == 0 {
+			return
+		}
+	}
+}
+
+// dispatch executes one decoded request against the connection's
+// session.
+func (s *Server) dispatch(sess *pgssi.Session, req *wire.Request) wire.Response {
+	switch req.Op {
+	case wire.OpBegin:
+		if s.draining.Load() {
+			return wire.Response{Status: pgssi.StatusShuttingDown}
+		}
+		h, st := sess.Begin(req.Isolation, req.Flags&wire.FlagReadOnly != 0, req.Flags&wire.FlagDeferrable != 0)
+		return wire.Response{Status: st, Handle: h}
+	case wire.OpGet:
+		v, st := sess.Get(req.Handle, req.Table, req.Key)
+		return wire.Response{Status: st, Value: v, Found: st.OK()}
+	case wire.OpPut:
+		return wire.Response{Status: sess.Put(req.Handle, req.Table, req.Key, req.Value)}
+	case wire.OpInsert:
+		return wire.Response{Status: sess.Insert(req.Handle, req.Table, req.Key, req.Value)}
+	case wire.OpUpdate:
+		return wire.Response{Status: sess.Update(req.Handle, req.Table, req.Key, req.Value)}
+	case wire.OpDelete:
+		return wire.Response{Status: sess.Delete(req.Handle, req.Table, req.Key)}
+	case wire.OpScan:
+		rows, st := sess.Scan(req.Handle, req.Table, req.Key, req.Hi, int(req.Limit))
+		if rows == nil {
+			rows = []pgssi.KV{}
+		}
+		return wire.Response{Status: st, Rows: rows}
+	case wire.OpCommit:
+		return wire.Response{Status: sess.Commit(req.Handle)}
+	case wire.OpRollback:
+		return wire.Response{Status: sess.Rollback(req.Handle)}
+	case wire.OpSavepoint:
+		return wire.Response{Status: sess.Savepoint(req.Handle, req.Key)}
+	case wire.OpReleaseSavepoint:
+		return wire.Response{Status: sess.ReleaseSavepoint(req.Handle, req.Key)}
+	case wire.OpRollbackToSavepoint:
+		return wire.Response{Status: sess.RollbackToSavepoint(req.Handle, req.Key)}
+	case wire.OpCreateTable:
+		return wire.Response{Status: sess.CreateTable(req.Table)}
+	case wire.OpPing:
+		return wire.Response{Status: pgssi.StatusOK}
+	default:
+		return wire.Response{Status: pgssi.StatusInvalidRequest}
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, refuse new
+// Begins, close idle connections, wait up to DrainTimeout for in-flight
+// transactions to finish, then force-close the rest (rolling their
+// transactions back). It blocks until the drain completes and is safe
+// to call multiple times and from signal handlers.
+func (s *Server) Shutdown() {
+	s.shutdownOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainStarted)
+		s.mu.Lock()
+		if s.listener != nil {
+			s.listener.Close()
+		}
+		s.mu.Unlock()
+
+		deadline := time.Now().Add(s.cfg.DrainTimeout)
+		for {
+			s.mu.Lock()
+			remaining := 0
+			for c := range s.conns {
+				if c.sess.Open() == 0 {
+					// Quiescent: unblock its read loop. The handler
+					// also self-closes after its next response, so
+					// this only shortens the wait for idle readers.
+					c.Close()
+				} else {
+					remaining++
+				}
+			}
+			s.mu.Unlock()
+			if remaining == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		// Force whatever is left; serveConn's cleanup rolls back.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		close(s.done)
+	})
+	<-s.done
+}
+
+// DrainOnSignal installs a handler that calls Shutdown on the first of
+// sigs (default: SIGTERM and SIGINT) and returns. A second signal
+// force-exits the process.
+func (s *Server) DrainOnSignal(sigs ...os.Signal) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{syscall.SIGTERM, syscall.SIGINT}
+	}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	go func() {
+		sig := <-ch
+		s.cfg.Logf("server: received %v, draining", sig)
+		go func() {
+			<-ch
+			log.Fatal("server: second signal, forcing exit")
+		}()
+		s.Shutdown()
+	}()
+}

@@ -1,0 +1,441 @@
+// Package wire implements pgssi's client/server protocol: a
+// length-prefixed binary framing with a protocol version byte and a
+// CRC-32 integrity check, carrying the session layer's handle-based
+// request/response messages (pgssi.Session; see docs/protocol.md for
+// the normative format description).
+//
+// The encoder/decoder here is shared by the server (internal/server,
+// cmd/pgssid) and the client (Client in this package). Decoding is
+// defensive end to end: a malformed, truncated, corrupted, or oversized
+// frame yields an error, never a panic and never an allocation sized by
+// attacker-controlled lengths beyond MaxFrame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"pgssi"
+)
+
+// Version is the protocol version carried in every frame header.
+const Version = 1
+
+// MaxFrame bounds a frame's payload (version byte + CRC + body). Frames
+// advertising more are rejected before any allocation.
+const MaxFrame = 16 << 20
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+	ErrBadCRC        = errors.New("wire: frame CRC mismatch")
+	ErrTruncated     = errors.New("wire: truncated message")
+	ErrBadMessage    = errors.New("wire: malformed message")
+)
+
+// Frame layout:
+//
+//	+--------------+-----------+-----------+------------------+
+//	| length: u32  | ver: u8   | crc: u32  | body: length-5 B |
+//	+--------------+-----------+-----------+------------------+
+//
+// length counts everything after itself (version + crc + body), so the
+// minimum legal value is 5. All integers are big-endian. crc is the
+// IEEE CRC-32 of body alone.
+const frameOverhead = 5
+
+// WriteFrame writes body as one frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body)+frameOverhead > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4 + frameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)+frameOverhead))
+	hdr[4] = Version
+	binary.BigEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(body))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame and returns its body, reusing buf when it
+// is large enough. Errors are framing-fatal: the stream position is
+// unknown afterwards and the connection should be closed.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4 + frameOverhead]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n < frameOverhead {
+		return nil, ErrTruncated
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return nil, err
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	want := binary.BigEndian.Uint32(hdr[5:9])
+	bodyLen := int(n) - frameOverhead
+	if cap(buf) < bodyLen {
+		buf = make([]byte, bodyLen)
+	}
+	body := buf[:bodyLen]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrBadCRC
+	}
+	return body, nil
+}
+
+// Op is a request opcode.
+type Op uint8
+
+// Request opcodes. Values are wire-stable.
+const (
+	OpBegin Op = iota + 1
+	OpGet
+	OpPut
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpScan
+	OpCommit
+	OpRollback
+	OpSavepoint
+	OpReleaseSavepoint
+	OpRollbackToSavepoint
+	OpCreateTable
+	OpPing
+	opMax
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpBegin:
+		return "Begin"
+	case OpGet:
+		return "Get"
+	case OpPut:
+		return "Put"
+	case OpInsert:
+		return "Insert"
+	case OpUpdate:
+		return "Update"
+	case OpDelete:
+		return "Delete"
+	case OpScan:
+		return "Scan"
+	case OpCommit:
+		return "Commit"
+	case OpRollback:
+		return "Rollback"
+	case OpSavepoint:
+		return "Savepoint"
+	case OpReleaseSavepoint:
+		return "ReleaseSavepoint"
+	case OpRollbackToSavepoint:
+		return "RollbackToSavepoint"
+	case OpCreateTable:
+		return "CreateTable"
+	case OpPing:
+		return "Ping"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Begin flag bits.
+const (
+	FlagReadOnly   = 1 << 0
+	FlagDeferrable = 1 << 1
+)
+
+// Request is one session-layer request. Which fields are meaningful
+// depends on Op (see docs/protocol.md); decode leaves the rest zero.
+type Request struct {
+	Op     Op
+	Handle pgssi.Handle
+
+	// Begin.
+	Isolation pgssi.IsolationLevel
+	Flags     uint8
+
+	// Data operations.
+	Table string
+	Key   string // also savepoint name, and Scan's lo bound
+	Hi    string // Scan's exclusive hi bound
+	Value []byte
+	Limit uint32 // Scan row cap (0 = unlimited)
+}
+
+// Response is one session-layer response. Status is always meaningful;
+// Handle is set by Begin, Value by Get, Rows by Scan.
+type Response struct {
+	Status pgssi.Status
+	Handle pgssi.Handle
+	Value  []byte
+	Found  bool // Get: distinguishes empty value from absent row
+	Rows   []pgssi.KV
+}
+
+// ---- body encoding helpers -------------------------------------------
+
+// enc appends primitive values to a buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) bytes(v []byte) {
+	e.b = binary.AppendUvarint(e.b, uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *enc) str(v string) {
+	e.b = binary.AppendUvarint(e.b, uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// dec consumes primitive values from a buffer, latching the first
+// error; every accessor is safe to call after a failure.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	if d.err != nil {
+		return nil
+	}
+	n, sz := binary.Uvarint(d.b)
+	if sz <= 0 || n > uint64(len(d.b)-sz) {
+		d.fail()
+		return nil
+	}
+	v := d.b[sz : sz+int(n)]
+	d.b = d.b[sz+int(n):]
+	return v
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+// done reports decoding success and rejects trailing garbage.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.b))
+	}
+	return nil
+}
+
+// ---- request ---------------------------------------------------------
+
+// AppendRequest encodes req into buf's body format (no framing).
+func AppendRequest(buf []byte, req *Request) []byte {
+	e := enc{b: buf}
+	e.u8(uint8(req.Op))
+	switch req.Op {
+	case OpBegin:
+		e.u8(uint8(req.Isolation))
+		e.u8(req.Flags)
+	case OpGet, OpDelete:
+		e.u64(uint64(req.Handle))
+		e.str(req.Table)
+		e.str(req.Key)
+	case OpPut, OpInsert, OpUpdate:
+		e.u64(uint64(req.Handle))
+		e.str(req.Table)
+		e.str(req.Key)
+		e.bytes(req.Value)
+	case OpScan:
+		e.u64(uint64(req.Handle))
+		e.str(req.Table)
+		e.str(req.Key)
+		e.str(req.Hi)
+		e.u32(req.Limit)
+	case OpCommit, OpRollback:
+		e.u64(uint64(req.Handle))
+	case OpSavepoint, OpReleaseSavepoint, OpRollbackToSavepoint:
+		e.u64(uint64(req.Handle))
+		e.str(req.Key)
+	case OpCreateTable:
+		e.str(req.Table)
+	case OpPing:
+	}
+	return e.b
+}
+
+// DecodeRequest parses a request body. The returned request aliases
+// body's memory for its string/byte fields only via copies (strings are
+// copied by conversion; Value is copied explicitly), so body may be
+// reused afterwards.
+func DecodeRequest(body []byte) (Request, error) {
+	d := dec{b: body}
+	var req Request
+	req.Op = Op(d.u8())
+	if d.err == nil && (req.Op == 0 || req.Op >= opMax) {
+		return Request{}, fmt.Errorf("%w: unknown op %d", ErrBadMessage, uint8(req.Op))
+	}
+	switch req.Op {
+	case OpBegin:
+		req.Isolation = pgssi.IsolationLevel(d.u8())
+		req.Flags = d.u8()
+	case OpGet, OpDelete:
+		req.Handle = pgssi.Handle(d.u64())
+		req.Table = d.str()
+		req.Key = d.str()
+	case OpPut, OpInsert, OpUpdate:
+		req.Handle = pgssi.Handle(d.u64())
+		req.Table = d.str()
+		req.Key = d.str()
+		req.Value = append([]byte(nil), d.bytes()...)
+	case OpScan:
+		req.Handle = pgssi.Handle(d.u64())
+		req.Table = d.str()
+		req.Key = d.str()
+		req.Hi = d.str()
+		req.Limit = d.u32()
+	case OpCommit, OpRollback:
+		req.Handle = pgssi.Handle(d.u64())
+	case OpSavepoint, OpReleaseSavepoint, OpRollbackToSavepoint:
+		req.Handle = pgssi.Handle(d.u64())
+		req.Key = d.str()
+	case OpCreateTable:
+		req.Table = d.str()
+	case OpPing:
+	}
+	if err := d.done(); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// ---- response --------------------------------------------------------
+
+// Response body flag bits (second byte).
+const (
+	respHasHandle = 1 << 0
+	respHasValue  = 1 << 1
+	respHasRows   = 1 << 2
+	respFound     = 1 << 3
+)
+
+// AppendResponse encodes resp into buf's body format (no framing).
+func AppendResponse(buf []byte, resp *Response) []byte {
+	e := enc{b: buf}
+	e.u8(uint8(resp.Status))
+	var flags uint8
+	if resp.Handle != 0 {
+		flags |= respHasHandle
+	}
+	if resp.Value != nil {
+		flags |= respHasValue
+	}
+	if resp.Rows != nil {
+		flags |= respHasRows
+	}
+	if resp.Found {
+		flags |= respFound
+	}
+	e.u8(flags)
+	if flags&respHasHandle != 0 {
+		e.u64(uint64(resp.Handle))
+	}
+	if flags&respHasValue != 0 {
+		e.bytes(resp.Value)
+	}
+	if flags&respHasRows != 0 {
+		e.u32(uint32(len(resp.Rows)))
+		for i := range resp.Rows {
+			e.str(resp.Rows[i].Key)
+			e.bytes(resp.Rows[i].Value)
+		}
+	}
+	return e.b
+}
+
+// DecodeResponse parses a response body.
+func DecodeResponse(body []byte) (Response, error) {
+	d := dec{b: body}
+	var resp Response
+	resp.Status = pgssi.Status(d.u8())
+	flags := d.u8()
+	if flags&respHasHandle != 0 {
+		resp.Handle = pgssi.Handle(d.u64())
+	}
+	if flags&respHasValue != 0 {
+		resp.Value = append([]byte(nil), d.bytes()...)
+	}
+	if flags&respHasRows != 0 {
+		n := d.u32()
+		// A row costs at least 2 bytes encoded; reject counts the
+		// remaining body cannot possibly hold before allocating.
+		if d.err == nil && uint64(n) > uint64(len(d.b)/2)+1 {
+			return Response{}, fmt.Errorf("%w: implausible row count %d", ErrBadMessage, n)
+		}
+		if d.err == nil && n > 0 {
+			resp.Rows = make([]pgssi.KV, 0, n)
+			for i := uint32(0); i < n && d.err == nil; i++ {
+				k := d.str()
+				v := append([]byte(nil), d.bytes()...)
+				resp.Rows = append(resp.Rows, pgssi.KV{Key: k, Value: v})
+			}
+		}
+	}
+	resp.Found = flags&respFound != 0
+	if err := d.done(); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"pgssi"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 ns uniformly: quantiles should land near their rank within
+	// the histogram's ≤1.6% bucket error.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want float64
+	}{{0.50, 500}, {0.99, 990}, {0.999, 999}}
+	for _, c := range checks {
+		got := float64(h.Quantile(c.q))
+		if got < c.want*0.95 || got > c.want*1.05 {
+			t.Errorf("p%g = %v, want ~%v", c.q*100, got, c.want)
+		}
+	}
+	if h.Max() < 1000*15/16 || h.Max() > 1024 {
+		t.Errorf("max = %v", h.Max())
+	}
+
+	// Values below the sub-bucket resolution are exact.
+	var small Histogram
+	small.Record(7)
+	if small.Quantile(0.5) != 7 {
+		t.Errorf("small-value quantile = %v", small.Quantile(0.5))
+	}
+
+	// Wide range: relative error stays bounded at every magnitude.
+	var wide Histogram
+	for _, v := range []time.Duration{1, 1 << 10, 1 << 20, 1 << 30, 1 << 40} {
+		wide.Record(v)
+	}
+	if q := wide.Quantile(1.0); q < 1<<40 || q > (1<<40)+(1<<40)/32 {
+		t.Errorf("p100 of widely spread values = %v", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram: count=%d p50=%v max=%v mean=%v", h.Count(), h.Quantile(0.5), h.Max(), h.Mean())
+	}
+}
+
+// TestZipfChooser: with s>1 the hot key set must be heavily skewed, and
+// every produced index must stay in range.
+func TestZipfChooser(t *testing.T) {
+	job := KVJob{Keys: 1_000_000, ZipfS: 1.1}
+	rng := rand.New(rand.NewPCG(7, 7))
+	choose := job.chooser(rng)
+	counts := map[int]int{}
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		k := choose()
+		if k < 0 || k >= job.Keys {
+			t.Fatalf("key index %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Zipf with s=1.1 concentrates mass: the single hottest key should
+	// take a few percent of draws, and far fewer distinct keys than
+	// draws should appear.
+	hottest := 0
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	if hottest < draws/100 {
+		t.Errorf("hottest key got %d/%d draws; zipf skew looks broken", hottest, draws)
+	}
+	if len(counts) > draws/2 {
+		t.Errorf("%d distinct keys in %d draws; distribution looks uniform", len(counts), draws)
+	}
+
+	// Uniform mode (s<=1): the hottest key should NOT dominate.
+	uni := KVJob{Keys: 1000, ZipfS: 0}
+	chooseU := uni.chooser(rng)
+	countsU := map[int]int{}
+	for i := 0; i < draws; i++ {
+		countsU[chooseU()]++
+	}
+	for k, c := range countsU {
+		if c > draws/100 {
+			t.Fatalf("uniform chooser: key %d got %d/%d draws", k, c, draws)
+		}
+	}
+}
+
+// TestRunOpenLoopInProcess runs a short fixed-rate open loop against an
+// in-process session and checks the accounting adds up.
+func TestRunOpenLoopInProcess(t *testing.T) {
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	if err := db.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	const keys = 1000
+	if err := db.RunTx(pgssi.TxOptions{Isolation: pgssi.ReadCommitted}, func(tx *pgssi.Tx) error {
+		for i := 0; i < keys; i++ {
+			if err := tx.Insert("kv", LoadKey(i), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	job := KVJob{Table: "kv", Keys: keys, ZipfS: 1.1, Reads: 2, Writes: 1, ValueSize: 8, Isolation: pgssi.Serializable}
+	txn := job.Txn(db.NewSession())
+	res := RunOpenLoop(OpenLoopOptions{
+		Rate:       2000,
+		Duration:   300 * time.Millisecond,
+		Arrival:    ArrivalFixed,
+		MaxRetries: 3,
+		Seed:       1,
+	}, txn)
+
+	if res.Offered == 0 {
+		t.Fatal("no arrivals were offered")
+	}
+	if res.Complete+res.Failed+res.Dropped != res.Offered {
+		t.Fatalf("accounting mismatch: offered=%d complete=%d failed=%d dropped=%d",
+			res.Offered, res.Complete, res.Failed, res.Dropped)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d non-retryable errors", res.Errors)
+	}
+	if res.Complete == 0 {
+		t.Fatal("nothing completed")
+	}
+	if got := int64(res.Hist.Count()); got != res.Complete {
+		t.Fatalf("histogram count %d != complete %d", got, res.Complete)
+	}
+	if res.Hist.Quantile(0.5) <= 0 {
+		t.Fatal("zero p50")
+	}
+	if res.Throughput() <= 0 || res.FailureRate() < 0 || res.FailureRate() > 1 {
+		t.Fatalf("throughput=%v failrate=%v", res.Throughput(), res.FailureRate())
+	}
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestRunOpenLoopPoisson: the Poisson arrival process offers a count in
+// the right ballpark of rate*duration.
+func TestRunOpenLoopPoisson(t *testing.T) {
+	res := RunOpenLoop(OpenLoopOptions{
+		Rate:     5000,
+		Duration: 200 * time.Millisecond,
+		Arrival:  ArrivalPoisson,
+		Seed:     42,
+	}, func(rng *rand.Rand) error { return nil })
+	want := 5000 * 0.2
+	if float64(res.Offered) < want/2 || float64(res.Offered) > want*2 {
+		t.Fatalf("offered %d arrivals, want ~%v", res.Offered, want)
+	}
+	if res.Complete != res.Offered {
+		t.Fatalf("complete=%d offered=%d", res.Complete, res.Offered)
+	}
+}
+
+// TestRunOpenLoopDrops: with MaxPending 1 and a txn that blocks longer
+// than the whole run, arrivals beyond the first must be dropped, not
+// queued invisibly.
+func TestRunOpenLoopDrops(t *testing.T) {
+	block := make(chan struct{})
+	// Unblock after the run window so RunOpenLoop's final wait for
+	// in-flight transactions can finish.
+	timer := time.AfterFunc(200*time.Millisecond, func() { close(block) })
+	defer timer.Stop()
+	res := RunOpenLoop(OpenLoopOptions{
+		Rate:       1000,
+		Duration:   150 * time.Millisecond,
+		Arrival:    ArrivalFixed,
+		MaxPending: 1,
+		Seed:       1,
+	}, func(rng *rand.Rand) error {
+		<-block
+		return nil
+	})
+	if res.Dropped == 0 {
+		t.Fatalf("expected drops under saturation: %+v", res)
+	}
+	if res.Complete+res.Failed+res.Dropped != res.Offered {
+		t.Fatalf("accounting mismatch: %+v", res)
+	}
+}
+
+// TestRunOpenLoopRetries: serialization failures are retried up to
+// MaxRetries, then counted as Failed (not Errors).
+func TestRunOpenLoopRetries(t *testing.T) {
+	res := RunOpenLoop(OpenLoopOptions{
+		Rate:       500,
+		Duration:   100 * time.Millisecond,
+		Arrival:    ArrivalFixed,
+		MaxRetries: 2,
+		Seed:       1,
+	}, func(rng *rand.Rand) error { return pgssi.ErrSerialization })
+	if res.Failed != res.Offered-res.Dropped {
+		t.Fatalf("failed=%d offered=%d dropped=%d", res.Failed, res.Offered, res.Dropped)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("serialization failures miscounted as errors: %+v", res)
+	}
+	if res.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+}
+
+func TestLoadKeyFormat(t *testing.T) {
+	if LoadKey(0) != "k00000000" || LoadKey(12345678) != "k12345678" {
+		t.Fatalf("LoadKey format changed: %q %q — pgssid preload and pgload must agree", LoadKey(0), LoadKey(12345678))
+	}
+}

@@ -1,6 +1,8 @@
 package pgssi
 
 import (
+	"errors"
+
 	"pgssi/internal/btree"
 	"pgssi/internal/core"
 	"pgssi/internal/mvcc"
@@ -170,6 +172,20 @@ func (tx *Tx) insertSecondaries(ti *tableInfo, key string, value []byte) error {
 		}
 	}
 	return nil
+}
+
+// Put upserts: it updates key if a visible row exists and inserts it
+// otherwise — the primitive the session layer (and the wire protocol's
+// OpPut) exposes. A concurrent insert racing the not-found→insert step
+// surfaces through the usual rules (duplicate key at this snapshot, or
+// a serialization failure from first-updater-wins), so the loop below
+// only follows the one benign hop.
+func (tx *Tx) Put(table, key string, value []byte) error {
+	err := tx.Update(table, key, value)
+	if errors.Is(err, ErrNotFound) {
+		return tx.Insert(table, key, value)
+	}
+	return err
 }
 
 // Update replaces the value of an existing row, following snapshot

@@ -56,6 +56,9 @@ type savepoint struct {
 // blocks until a safe snapshot is available (§4.3) and returns a
 // transaction that runs entirely without SSI overhead and cannot abort.
 func (db *DB) Begin(opts TxOptions) (*Tx, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
 	if opts.Deferrable {
 		if !opts.ReadOnly || opts.Isolation != Serializable {
 			return nil, fmt.Errorf("pgssi: DEFERRABLE requires a SERIALIZABLE READ ONLY transaction")
