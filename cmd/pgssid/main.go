@@ -21,6 +21,7 @@ import (
 
 	"pgssi"
 	"pgssi/internal/server"
+	"pgssi/internal/wal"
 	"pgssi/internal/workload"
 )
 
@@ -35,12 +36,34 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound for in-flight transactions")
 		partitions   = flag.Int("partitions", 0, "SIREAD lock table partitions (0 = default)")
+		dataDir      = flag.String("data", "", "data directory for the durable WAL (empty = in-memory, nothing survives restart)")
+		fsyncMode    = flag.String("fsync", "batch", "fsync mode with -data: always, batch, or off")
 	)
 	flag.Parse()
 	log.SetPrefix("pgssid: ")
 	log.SetFlags(0)
 
-	db := pgssi.Open(pgssi.Config{Partitions: *partitions})
+	cfg := pgssi.Config{Partitions: *partitions}
+	var db *pgssi.DB
+	if *dataDir != "" {
+		mode, err := wal.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.FsyncMode = mode
+		start := time.Now()
+		db, err = pgssi.OpenDir(*dataDir, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := db.WALRecoveredRecords(); n > 0 {
+			log.Printf("recovered %d WAL records from %s in %s (fsync=%s)", n, *dataDir, time.Since(start).Round(time.Millisecond), mode)
+		} else {
+			log.Printf("initialized %s (fsync=%s)", *dataDir, mode)
+		}
+	} else {
+		db = pgssi.Open(cfg)
+	}
 	names := strings.Split(*tables, ",")
 	for _, t := range names {
 		t = strings.TrimSpace(t)
@@ -48,8 +71,19 @@ func main() {
 			continue
 		}
 		if err := db.CreateTable(t); err != nil {
+			// After recovery the table is already there; that is not an
+			// error on restart.
+			if *dataDir != "" && strings.Contains(err.Error(), "already exists") {
+				continue
+			}
 			log.Fatal(err)
 		}
+	}
+	// A recovered database already holds its data; preloading again would
+	// overwrite it (and double startup time).
+	if *preload > 0 && db.WALRecoveredRecords() > 0 {
+		log.Printf("skipping preload: recovered data present")
+		*preload = 0
 	}
 	if *preload > 0 {
 		start := time.Now()

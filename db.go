@@ -213,7 +213,38 @@ type Config struct {
 	// interleaving hook used by the deterministic race harness; with
 	// the latch enabled it runs while the page latch is held.
 	OnRead func(table, key string)
+
+	// DisableDurableWAL makes OpenDir behave like Open: no segment
+	// files, no recovery, no fsync on commit. Ablation knob for A/B
+	// against the durable commit path; the in-memory log-shipping WAL
+	// (AttachWAL) is unaffected either way.
+	DisableDurableWAL bool
+	// FsyncMode selects how commit acknowledgement relates to fsync
+	// when the durable WAL is open: FsyncBatch (default) group-commits
+	// behind a short gather window, FsyncAlways syncs every flush
+	// batch, FsyncOff never waits for the disk (contention benchmarks).
+	FsyncMode FsyncMode
+	// WALSegmentSize is the durable WAL's segment rotation threshold
+	// (default wal.DefaultSegmentSize).
+	WALSegmentSize int64
+	// WALGroupWindow is the FsyncBatch gather delay (default
+	// wal.DefaultGroupWindow).
+	WALGroupWindow time.Duration
+	// WALFS overrides the durable WAL's filesystem; nil means the OS
+	// filesystem. Test-only: the fault-injection suites inject a
+	// wal.FaultFS here.
+	WALFS wal.FS
 }
+
+// FsyncMode re-exports wal.FsyncMode for Config.
+type FsyncMode = wal.FsyncMode
+
+// Fsync modes (see wal.FsyncMode).
+const (
+	FsyncBatch  = wal.FsyncBatch
+	FsyncAlways = wal.FsyncAlways
+	FsyncOff    = wal.FsyncOff
+)
 
 func (c Config) storageConfig() storage.Config {
 	return storage.Config{
@@ -297,6 +328,15 @@ type DB struct {
 
 	walMu  sync.Mutex
 	walLog *wal.Log
+
+	// durable is the on-disk WAL, non-nil only for OpenDir without
+	// DisableDurableWAL; walPending carries each committing
+	// transaction's pre-encoded record from walPrepare (on the
+	// committer's goroutine, outside all locks) to walCommitHook
+	// (inside the MVCC commit publication critical section), keyed by
+	// xid. See recovery.go.
+	durable    *wal.DurableLog
+	walPending sync.Map
 }
 
 // Open creates an empty database.
@@ -314,11 +354,14 @@ func Open(cfg Config) *DB {
 }
 
 // CreateTable creates a table with a primary B+-tree index over its keys.
-// Creating an existing table is an error.
+// Creating an existing table is an error. With the durable WAL open, the
+// creation is logged and made durable before CreateTable returns, so a
+// restart rebuilds the schema before replaying row changes (secondary
+// indexes are not logged; recreate them after OpenDir).
 func (db *DB) CreateTable(name string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; ok {
+		db.mu.Unlock()
 		return fmt.Errorf("pgssi: table %q already exists", name)
 	}
 	db.tables[name] = &tableInfo{
@@ -327,6 +370,10 @@ func (db *DB) CreateTable(name string) error {
 		pk:     btree.New(),
 		pkName: "i." + name + ".pk",
 		second: make(map[string]*secondaryIndex),
+	}
+	db.mu.Unlock()
+	if db.durable != nil {
+		return db.durable.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), CreateTable: name}).Wait()
 	}
 	return nil
 }
@@ -501,6 +548,16 @@ func (db *DB) Close() error {
 	}
 	db.walLog = nil
 	db.walMu.Unlock()
+	// Flush and close the durable WAL: the final flush syncs even in
+	// FsyncOff mode, so a cleanly closed database is durable regardless
+	// of fsync policy. Commits still in flight past this point fail
+	// their durability wait with wal.ErrClosed.
+	if db.durable != nil {
+		if db.mvcc.ActiveCount() == 0 {
+			db.durable.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), SafeSnapshot: true})
+		}
+		return db.durable.Close()
+	}
 	return nil
 }
 

@@ -184,6 +184,15 @@ type ftxn struct {
 	committed bool
 }
 
+// ackedCommit records one committed transaction's acknowledged write
+// set, in commit-acknowledgement order — the oracle sequence for the
+// crash-recovery mode: a recovered state must equal the fold of some
+// prefix of these.
+type ackedCommit struct {
+	id     uint64
+	writes map[string]string
+}
+
 // runFuzzHistory executes one seeded history at the given isolation
 // level under the given engine configuration. It returns the committed
 // verdict of each scheduled transaction (indexed by transaction id - 1)
@@ -191,11 +200,20 @@ type ftxn struct {
 // serializable outcome).
 func runFuzzHistory(t *testing.T, seed uint64, level pgssi.IsolationLevel, cfg pgssi.Config) ([]bool, []uint64) {
 	t.Helper()
-	rng := rand.New(rand.NewPCG(seed, 0x5551))
 	db := pgssi.Open(cfg)
 	if err := db.CreateTable("t"); err != nil {
 		t.Fatal(err)
 	}
+	return runFuzzHistoryOn(t, seed, level, db, nil)
+}
+
+// runFuzzHistoryOn runs the seeded history against an existing database
+// with table "t" already created (the crash-recovery mode passes a
+// durable OpenDir database). When acked is non-nil, every committed
+// transaction's write set is appended in commit-acknowledgement order.
+func runFuzzHistoryOn(t *testing.T, seed uint64, level pgssi.IsolationLevel, db *pgssi.DB, acked *[]ackedCommit) ([]bool, []uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0x5551))
 	init, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +222,13 @@ func runFuzzHistory(t *testing.T, seed uint64, level pgssi.IsolationLevel, cfg p
 		mustExec(t, init.Insert("t", k, []byte("0")))
 	}
 	mustExec(t, init.Commit())
+	if acked != nil {
+		w := make(map[string]string, len(fuzzKeys))
+		for _, k := range fuzzKeys {
+			w[k] = "0"
+		}
+		*acked = append(*acked, ackedCommit{id: 0, writes: w})
+	}
 
 	ntxns := 3 + rng.IntN(3)
 	txns := make([]*ftxn, ntxns)
@@ -278,7 +303,7 @@ func runFuzzHistory(t *testing.T, seed uint64, level pgssi.IsolationLevel, cfg p
 			continue
 		}
 		if f.next == len(f.prog) {
-			if fuzzFinish(t, db, f, rng, activeWriter) {
+			if fuzzFinish(t, db, f, rng, activeWriter, acked) {
 				remaining--
 			}
 			continue
@@ -333,8 +358,21 @@ func fuzzAbort(f *ftxn, activeWriter map[string]*ftxn, rolledBack bool) {
 // which, after a successful Prepare, must never fail — or an occasional
 // RollbackPrepared. Between the two steps other transactions run their
 // conflict checks against the prepared state.
-func fuzzFinish(t *testing.T, db *pgssi.DB, f *ftxn, rng *rand.Rand, activeWriter map[string]*ftxn) bool {
+func fuzzFinish(t *testing.T, db *pgssi.DB, f *ftxn, rng *rand.Rand, activeWriter map[string]*ftxn, acked *[]ackedCommit) bool {
 	t.Helper()
+	// recordAck captures the committed write set at acknowledgement time
+	// (every write of transaction f carries the value fmt.Sprint(f.id) —
+	// deletes reinsert — so the set is just the keys written).
+	recordAck := func() {
+		if acked == nil || len(f.wrote) == 0 {
+			return
+		}
+		w := make(map[string]string, len(f.wrote))
+		for k := range f.wrote {
+			w[k] = fmt.Sprint(f.id)
+		}
+		*acked = append(*acked, ackedCommit{id: f.id, writes: w})
+	}
 	gid := fmt.Sprintf("fuzz-%d", f.id)
 	if f.twoPC && !f.prepared {
 		if err := f.tx.Prepare(gid); err != nil {
@@ -360,6 +398,7 @@ func fuzzFinish(t *testing.T, db *pgssi.DB, f *ftxn, rng *rand.Rand, activeWrite
 			t.Fatalf("commit prepared: %v", err)
 		}
 		f.committed = true
+		recordAck()
 		for k, w := range activeWriter {
 			if w == f {
 				delete(activeWriter, k)
@@ -376,6 +415,7 @@ func fuzzFinish(t *testing.T, db *pgssi.DB, f *ftxn, rng *rand.Rand, activeWrite
 		return true
 	}
 	f.committed = true
+	recordAck()
 	for k, w := range activeWriter {
 		if w == f {
 			delete(activeWriter, k)

@@ -126,6 +126,18 @@ type Config struct {
 	// interleaving hook (CSN mode); it must not call back into lifecycle
 	// methods of the same Manager.
 	OnCSNPublish func(xid TxID, seq SeqNo)
+	// OnCommitPublish, if non-nil, is invoked inside the commit
+	// publication critical section, after xid's committed fate and CSN
+	// are written but before the shard mutex is released. It is the
+	// engine's WAL position-reservation point: because it runs before
+	// any snapshot can observe the commit, a transaction that observed
+	// this commit's writes always reserves a later log position, making
+	// every log prefix dependency-closed. The hook must be cheap and
+	// non-blocking (no I/O, no lifecycle calls on this Manager); it runs
+	// under a commit-log shard mutex on every commit path, including the
+	// ablation modes. Set it before the Manager sees any traffic (see
+	// SetOnCommitPublish).
+	OnCommitPublish func(xid TxID, seq SeqNo)
 	// LogPartitions is the number of hash shards in the commit log.
 	// Rounded up to a power of two; defaults to 64.
 	LogPartitions int
@@ -507,8 +519,19 @@ func (m *Manager) publishCommitLocked(sh *logShard, rec *txRecord, xid TxID, seq
 	rec.status = StatusCommitted
 	rec.commitSeq = seq
 	delete(sh.active, xid)
+	if h := m.cfg.OnCommitPublish; h != nil {
+		h(xid, seq)
+	}
 	sh.mu.Unlock()
 	return seq
+}
+
+// SetOnCommitPublish installs the Config.OnCommitPublish hook. It must
+// be called before the Manager sees any concurrent traffic (the field is
+// read without synchronization on the commit path); the engine sets it
+// once while opening the database.
+func (m *Manager) SetOnCommitPublish(fn func(xid TxID, seq SeqNo)) {
+	m.cfg.OnCommitPublish = fn
 }
 
 // finishCommit is the shared post-publication tail of every Commit path.

@@ -1,0 +1,722 @@
+// DurableLog: the on-disk WAL. Records are appended to numbered segment
+// files with CRC-framed records (encoding.go), committers group-commit
+// onto a shared fsync, and OpenDir recovers by scanning segments and
+// truncating at the first damaged record. docs/wal.md is the normative
+// format and recovery description.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pgssi/internal/mvcc"
+)
+
+// FsyncMode selects how commit acknowledgement relates to fsync.
+type FsyncMode int
+
+const (
+	// FsyncBatch (the default) waits a short gather window so concurrent
+	// committers piggyback on one fsync, then syncs before acknowledging.
+	FsyncBatch FsyncMode = iota
+	// FsyncAlways syncs every flush batch with no gather window. Still
+	// group-commits: committers that arrive during an fsync share the
+	// next one.
+	FsyncAlways
+	// FsyncOff writes records asynchronously and never syncs (except on
+	// Close). Commit acknowledgement does not wait for the disk at all —
+	// preserved for the contention benchmarks, where fsync latency would
+	// drown the effect being measured.
+	FsyncOff
+)
+
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncBatch:
+		return "batch"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncMode(%d)", int(m))
+}
+
+// ParseFsyncMode parses "always", "batch", or "off".
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return FsyncBatch, fmt.Errorf("wal: unknown fsync mode %q (want always, batch, or off)", s)
+}
+
+const (
+	walMagic          = "PGSSIWAL"
+	segmentHeaderSize = 8 + 1 + 8 // magic + version + index
+
+	// DefaultSegmentSize is the rotation threshold for segment files.
+	DefaultSegmentSize = 16 << 20
+	// DefaultGroupWindow is how long a FsyncBatch flush waits to gather
+	// co-committers before syncing.
+	DefaultGroupWindow = 200 * time.Microsecond
+)
+
+// ErrClosed is returned for appends after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// Config configures a DurableLog.
+type Config struct {
+	// SegmentSize is the rotation threshold; DefaultSegmentSize if zero.
+	SegmentSize int64
+	// Fsync is the acknowledgement/fsync policy.
+	Fsync FsyncMode
+	// GroupWindow is the FsyncBatch gather delay; DefaultGroupWindow if
+	// zero.
+	GroupWindow time.Duration
+	// FS overrides the filesystem; nil means the OS filesystem. Tests
+	// inject a FaultFS here.
+	FS FS
+}
+
+// Ticket is a committer's handle on the flush that will cover its
+// record. Wait blocks until that flush (and its fsync, per mode) has
+// completed. A nil Ticket (FsyncOff) waits for nothing.
+type Ticket struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the record is durable per the log's fsync mode.
+func (t *Ticket) Wait() error {
+	if t == nil {
+		return nil
+	}
+	<-t.done
+	return t.err
+}
+
+func failedTicket(err error) *Ticket {
+	t := &Ticket{done: make(chan struct{}), err: err}
+	close(t.done)
+	return t
+}
+
+// Pending is a record encoded ahead of its commit-sequence assignment.
+// The engine prepares it outside all locks, then Enqueue patches the
+// final sequence number in and reserves the log position — the only work
+// done inside the MVCC commit publication critical section.
+type Pending struct {
+	frame  []byte
+	rec    Record
+	ticket *Ticket
+}
+
+// Wait blocks until the enqueued record is durable (see Ticket.Wait).
+// It must only be called after Enqueue.
+func (p *Pending) Wait() error { return p.ticket.Wait() }
+
+// queued is one record in the flush queue: its encoded frame (what the
+// flusher writes), its decoded form (what subscribers receive), and the
+// ticket to resolve when its batch is on disk.
+type queued struct {
+	frame  []byte
+	rec    Record
+	ticket *Ticket
+}
+
+// segMeta describes one segment file. size is the published length in
+// bytes (header included): everything at or below it has been fully
+// written by a completed flush, so concurrent readers may read up to it
+// while the flusher appends beyond.
+type segMeta struct {
+	index uint64
+	path  string
+	size  int64
+}
+
+// DurableLog is a WAL persisted to segment files. See the package
+// comment and docs/wal.md.
+type DurableLog struct {
+	dir string
+	cfg Config
+	fs  FS
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signals flushing -> false
+	segs      []segMeta  // all segments, published sizes
+	pending   []queued   // enqueued, not yet grabbed by the flusher
+	inflight  []queued   // grabbed by the flusher, not yet published
+	subs      []chan Record
+	flushing  bool
+	closed    bool
+	flushErr  error // sticky: first write/sync failure poisons the log
+	stats     Stats
+	recovered int
+
+	// Flusher-private state, guarded by flushing (or by mu once Close
+	// has observed flushing == false).
+	cur        File
+	curIndex   uint64
+	curSize    int64
+	filled     []segMeta // segments rotated away during the current batch
+	batchBytes int64
+	batchSyncs int64
+}
+
+// Stats is a snapshot of the log's counters. Appends/Fsyncs is the
+// group-commit amortization ratio.
+type Stats struct {
+	Appends      int64
+	Flushes      int64
+	Fsyncs       int64
+	Segments     int
+	BytesWritten int64
+}
+
+// OpenDir opens (creating if necessary) the WAL in dir and recovers it:
+// segments are scanned in order and the log is truncated at the first
+// torn, corrupt, or otherwise undecodable record — that record and
+// everything after it (including any later segments) is discarded.
+// Records surviving recovery can then be read with Replay before new
+// appends begin.
+func OpenDir(dir string, cfg Config) (*DurableLog, error) {
+	if cfg.FS == nil {
+		cfg.FS = osFS{}
+	}
+	if cfg.SegmentSize <= segmentHeaderSize {
+		cfg.SegmentSize = DefaultSegmentSize
+	}
+	if cfg.GroupWindow <= 0 {
+		cfg.GroupWindow = DefaultGroupWindow
+	}
+	l := &DurableLog{dir: dir, cfg: cfg, fs: cfg.FS}
+	l.cond = sync.NewCond(&l.mu)
+
+	if err := l.fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	names, err := l.fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		index uint64
+		name  string
+	}
+	var cands []cand
+	for _, n := range names {
+		if idx, ok := parseSegName(n); ok {
+			cands = append(cands, cand{idx, n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].index < cands[j].index })
+
+	damaged := false
+	for i, c := range cands {
+		path := filepath.Join(dir, c.name)
+		// Once damage is found — or a segment index gap makes later
+		// segments unreachable — everything after the damage point is
+		// discarded.
+		if damaged || (i > 0 && c.index != cands[i-1].index+1) {
+			damaged = true
+			if err := l.fs.Remove(path); err != nil {
+				return nil, fmt.Errorf("wal: removing unreachable segment %s: %w", c.name, err)
+			}
+			continue
+		}
+		good, nrecs, segDamaged, err := l.scanSegment(path, c.index)
+		if err != nil {
+			return nil, err
+		}
+		l.recovered += nrecs
+		if segDamaged {
+			damaged = true
+			if good <= segmentHeaderSize {
+				// Not even a valid header survived: nothing usable here.
+				if err := l.fs.Remove(path); err != nil {
+					return nil, fmt.Errorf("wal: removing damaged segment %s: %w", c.name, err)
+				}
+				continue
+			}
+			if err := l.fs.Truncate(path, good); err != nil {
+				return nil, fmt.Errorf("wal: truncating damaged segment %s: %w", c.name, err)
+			}
+		}
+		l.segs = append(l.segs, segMeta{index: c.index, path: path, size: good})
+	}
+
+	if len(l.segs) == 0 {
+		f, err := l.createSegment(1)
+		if err != nil {
+			return nil, err
+		}
+		l.cur, l.curIndex, l.curSize = f, 1, segmentHeaderSize
+		l.segs = append(l.segs, segMeta{index: 1, path: l.segPath(1), size: segmentHeaderSize})
+	} else {
+		last := l.segs[len(l.segs)-1]
+		f, err := l.fs.OpenAppend(last.path)
+		if err != nil {
+			return nil, err
+		}
+		l.cur, l.curIndex, l.curSize = f, last.index, last.size
+	}
+	return l, nil
+}
+
+// RecoveredRecords reports how many records survived recovery at OpenDir.
+func (l *DurableLog) RecoveredRecords() int { return l.recovered }
+
+// Dir returns the directory the log lives in.
+func (l *DurableLog) Dir() string { return l.dir }
+
+func (l *DurableLog) segPath(index uint64) string {
+	return filepath.Join(l.dir, segName(index))
+}
+
+func segName(index uint64) string { return fmt.Sprintf("%016d.wal", index) }
+
+func parseSegName(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, ".wal")
+	if !ok || len(base) != 16 {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(base, 10, 64)
+	if err != nil || idx == 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+func encodeSegHeader(index uint64) []byte {
+	hdr := make([]byte, segmentHeaderSize)
+	copy(hdr, walMagic)
+	hdr[8] = FormatVersion
+	binary.BigEndian.PutUint64(hdr[9:17], index)
+	return hdr
+}
+
+// readSegHeader validates a segment header against the index encoded in
+// the file's name.
+func readSegHeader(r io.Reader, wantIndex uint64) error {
+	var hdr [segmentHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: segment header: %v", ErrTruncated, err)
+	}
+	if string(hdr[:8]) != walMagic {
+		return fmt.Errorf("%w: bad segment magic", ErrBadRecord)
+	}
+	if hdr[8] != FormatVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, hdr[8])
+	}
+	if idx := binary.BigEndian.Uint64(hdr[9:17]); idx != wantIndex {
+		return fmt.Errorf("%w: segment header index %d, file name says %d", ErrBadRecord, idx, wantIndex)
+	}
+	return nil
+}
+
+// scanSegment validates one segment during recovery. It returns the
+// offset up to which the segment is intact (segmentHeaderSize or less
+// means nothing usable), how many records decode cleanly before the
+// damage point, and whether any damage was found. Only failing to open
+// the file is a hard error: all content problems are damage, by design —
+// recovery must never panic or fail on a torn tail.
+func (l *DurableLog) scanSegment(path string, index uint64) (good int64, nrecs int, damaged bool, err error) {
+	f, err := l.fs.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	if err := readSegHeader(f, index); err != nil {
+		return 0, 0, true, nil
+	}
+	good = segmentHeaderSize
+	var buf []byte
+	for {
+		body, err := readFrame(f, buf)
+		if err == io.EOF {
+			return good, nrecs, false, nil
+		}
+		if err != nil {
+			return good, nrecs, true, nil
+		}
+		if _, err := decodeRecord(body); err != nil {
+			return good, nrecs, true, nil
+		}
+		good += int64(frameHeaderSize + len(body))
+		nrecs++
+		buf = body
+	}
+}
+
+// readSegmentRecords streams the records of one recovered/published
+// segment region ([0, limit) bytes of the file) through fn. Unlike
+// scanSegment this treats damage as an error: callers only read regions
+// recovery or a completed flush has validated.
+func readSegmentRecords(fs FS, path string, index uint64, limit int64, fn func(Record) error) error {
+	f, err := fs.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := readSegHeader(f, index); err != nil {
+		return err
+	}
+	lr := io.LimitReader(f, limit-segmentHeaderSize)
+	var buf []byte
+	for {
+		body, err := readFrame(lr, buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("wal: segment %s: %w", filepath.Base(path), err)
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return fmt.Errorf("wal: segment %s: %w", filepath.Base(path), err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		buf = body
+	}
+}
+
+// Replay streams every record that survived recovery through fn, in log
+// order. It must be called after OpenDir and before any appends.
+func (l *DurableLog) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	segs := append([]segMeta(nil), l.segs...)
+	l.mu.Unlock()
+	for _, s := range segs {
+		if s.size <= segmentHeaderSize {
+			continue
+		}
+		if err := readSegmentRecords(l.fs, s.path, s.index, s.size, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrepareRecord encodes rec into a Pending, ready for Enqueue. Safe to
+// call with rec.Seq unset: Enqueue stamps the final sequence number.
+func (l *DurableLog) PrepareRecord(rec Record) *Pending {
+	return &Pending{frame: encodeFrame(rec), rec: rec}
+}
+
+// Enqueue stamps seq into the prepared record and reserves its position
+// in the log: the record joins the flush queue and is fanned out to
+// subscribers. It is designed to be called inside the MVCC commit
+// publication critical section — it only patches eight bytes, takes the
+// log mutex, and appends to a slice; all encoding happened in
+// PrepareRecord and all I/O happens on the flusher goroutine. Call
+// p.Wait afterwards (outside the critical section) for durability.
+func (l *DurableLog) Enqueue(p *Pending, seq mvcc.SeqNo) {
+	patchSeq(p.frame, uint64(seq))
+	p.rec.Seq = seq
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		p.ticket = failedTicket(ErrClosed)
+		return
+	}
+	if l.flushErr != nil {
+		p.ticket = failedTicket(l.flushErr)
+		return
+	}
+	if l.cfg.Fsync != FsyncOff {
+		p.ticket = &Ticket{done: make(chan struct{})}
+	}
+	l.pending = append(l.pending, queued{frame: p.frame, rec: p.rec, ticket: p.ticket})
+	l.stats.Appends++
+	l.fanoutLocked(p.rec)
+	l.kickFlushLocked()
+}
+
+// Append encodes and enqueues a record whose sequence number is already
+// known (markers, schema records). The returned ticket resolves when the
+// record is durable; nil in FsyncOff mode.
+func (l *DurableLog) Append(rec Record) *Ticket {
+	p := l.PrepareRecord(rec)
+	l.Enqueue(p, rec.Seq)
+	return p.ticket
+}
+
+// fanoutLocked mirrors Log.fanoutLocked: non-blocking sends with
+// overflow-disconnect, so the committer holding the publication critical
+// section is never stalled by a subscriber.
+func (l *DurableLog) fanoutLocked(r Record) {
+	live := l.subs[:0]
+	for _, ch := range l.subs {
+		select {
+		case ch <- r:
+			live = append(live, ch)
+		default:
+			close(ch)
+		}
+	}
+	for i := len(live); i < len(l.subs); i++ {
+		l.subs[i] = nil
+	}
+	l.subs = live
+}
+
+func (l *DurableLog) kickFlushLocked() {
+	if l.flushing || len(l.pending) == 0 {
+		return
+	}
+	l.flushing = true
+	go l.flushLoop()
+}
+
+// flushLoop is the single group-commit flusher: it repeatedly grabs the
+// whole pending queue as one batch, writes and fsyncs it, and resolves
+// the batch's tickets. Committers that enqueue while a batch is being
+// synced pile up for the next batch — that pile-up is the group commit.
+// The loop exits when the queue is empty; the next Enqueue restarts it.
+func (l *DurableLog) flushLoop() {
+	for {
+		if l.cfg.Fsync == FsyncBatch {
+			// Gather window: let concurrent committers join this batch.
+			time.Sleep(l.cfg.GroupWindow)
+		}
+		l.mu.Lock()
+		if len(l.pending) == 0 {
+			l.flushing = false
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			return
+		}
+		batch := l.pending
+		l.pending = nil
+		l.inflight = batch
+		err := l.flushErr
+		l.mu.Unlock()
+
+		if err == nil {
+			err = l.writeBatch(batch)
+		}
+
+		l.mu.Lock()
+		l.inflight = nil
+		if err != nil && l.flushErr == nil {
+			l.flushErr = err
+		}
+		l.stats.Flushes++
+		l.mu.Unlock()
+
+		for _, q := range batch {
+			if q.ticket != nil {
+				q.ticket.err = err
+				close(q.ticket.done)
+			}
+		}
+	}
+}
+
+// writeBatch writes one batch of frames to the current segment, rotating
+// as needed, and fsyncs per the mode. Runs on the flusher goroutine with
+// exclusive access to cur/curIndex/curSize. Published segment sizes are
+// updated atomically (with respect to l.mu) at the end, so Subscribe's
+// disk-plus-inflight-plus-pending snapshot never double-counts a record.
+func (l *DurableLog) writeBatch(batch []queued) error {
+	l.filled = l.filled[:0]
+	l.batchBytes, l.batchSyncs = 0, 0
+	for _, q := range batch {
+		if l.curSize+int64(len(q.frame)) > l.cfg.SegmentSize && l.curSize > segmentHeaderSize {
+			if err := l.rotate(); err != nil {
+				return err
+			}
+		}
+		n, err := l.cur.Write(q.frame)
+		l.curSize += int64(n)
+		l.batchBytes += int64(n)
+		if err != nil {
+			return err
+		}
+	}
+	if l.cfg.Fsync != FsyncOff {
+		if err := l.cur.Sync(); err != nil {
+			return err
+		}
+		l.batchSyncs++
+	}
+	l.mu.Lock()
+	for _, fm := range l.filled {
+		for j := len(l.segs) - 1; j >= 0; j-- {
+			if l.segs[j].index == fm.index {
+				l.segs[j].size = fm.size
+				break
+			}
+		}
+	}
+	for j := len(l.segs) - 1; j >= 0; j-- {
+		if l.segs[j].index == l.curIndex {
+			l.segs[j].size = l.curSize
+			break
+		}
+	}
+	l.stats.BytesWritten += l.batchBytes
+	l.stats.Fsyncs += l.batchSyncs
+	l.mu.Unlock()
+	return nil
+}
+
+// rotate seals the current segment (fsyncing it unless FsyncOff) and
+// starts the next one. Frames never span segments.
+func (l *DurableLog) rotate() error {
+	if l.cfg.Fsync != FsyncOff {
+		if err := l.cur.Sync(); err != nil {
+			return err
+		}
+		l.batchSyncs++
+	}
+	if err := l.cur.Close(); err != nil {
+		return err
+	}
+	l.filled = append(l.filled, segMeta{index: l.curIndex, size: l.curSize})
+	idx := l.curIndex + 1
+	f, err := l.createSegment(idx)
+	if err != nil {
+		return err
+	}
+	l.cur, l.curIndex, l.curSize = f, idx, segmentHeaderSize
+	l.batchBytes += segmentHeaderSize
+	l.mu.Lock()
+	l.segs = append(l.segs, segMeta{index: idx, path: l.segPath(idx), size: segmentHeaderSize})
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *DurableLog) createSegment(index uint64) (File, error) {
+	f, err := l.fs.Create(l.segPath(index))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(encodeSegHeader(index)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Subscribe returns a channel that replays every record in the log (from
+// disk, plus any not yet flushed) and then streams new ones. Cancel
+// detaches and closes the channel; a subscriber that falls more than the
+// fan-out buffer behind is disconnected (see Log.Append — same policy).
+func (l *DurableLog) Subscribe() (<-chan Record, func()) {
+	ch := make(chan Record, subscriberBuffer)
+	l.mu.Lock()
+	segs := append([]segMeta(nil), l.segs...)
+	mem := make([]Record, 0, len(l.inflight)+len(l.pending))
+	for _, q := range l.inflight {
+		mem = append(mem, q.rec)
+	}
+	for _, q := range l.pending {
+		mem = append(mem, q.rec)
+	}
+	if l.closed {
+		close(ch)
+	} else {
+		l.subs = append(l.subs, ch)
+	}
+	l.mu.Unlock()
+
+	out := make(chan Record, 64)
+	done := make(chan struct{})
+	go func() {
+		var backlog []Record
+		for _, s := range segs {
+			if s.size <= segmentHeaderSize {
+				continue
+			}
+			err := readSegmentRecords(l.fs, s.path, s.index, s.size, func(r Record) error {
+				backlog = append(backlog, r)
+				return nil
+			})
+			if err != nil {
+				// A published region failing to read back means the
+				// disk is gone or the log poisoned; end the stream.
+				close(out)
+				return
+			}
+		}
+		backlog = append(backlog, mem...)
+		forwardRecords(backlog, ch, out, done)
+	}()
+
+	cancel := func() {
+		l.mu.Lock()
+		for i, s := range l.subs {
+			if s == ch {
+				l.subs = append(l.subs[:i], l.subs[i+1:]...)
+				break
+			}
+		}
+		l.mu.Unlock()
+		close(done)
+	}
+	return out, cancel
+}
+
+// Close drains the flush queue, syncs the current segment (even in
+// FsyncOff mode: a clean shutdown is durable), and closes it. Appends
+// after Close fail with ErrClosed; subscriber streams end.
+func (l *DurableLog) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for l.flushing {
+		l.cond.Wait()
+	}
+	var err error
+	if l.cur != nil {
+		if l.flushErr == nil {
+			if serr := l.cur.Sync(); serr != nil {
+				err = serr
+			} else {
+				l.stats.Fsyncs++
+			}
+		}
+		if cerr := l.cur.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.cur = nil
+	}
+	if err == nil {
+		err = l.flushErr
+	}
+	subs := l.subs
+	l.subs = nil
+	l.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	return err
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *DurableLog) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Segments = len(l.segs)
+	return s
+}

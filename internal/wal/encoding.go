@@ -1,0 +1,257 @@
+// On-disk record encoding for the durable WAL. The framing reuses the
+// discipline of internal/wire (docs/protocol.md): a length prefix
+// covering a version byte, a CRC-32 of the body, and the body itself,
+// with every length validated against a hard cap before any allocation.
+// See docs/wal.md for the normative format description.
+//
+//	+--------------+-----------+-----------+------------------+
+//	| length: u32  | ver: u8   | crc: u32  | body: length-5 B |
+//	+--------------+-----------+-----------+------------------+
+//
+// length counts everything after itself (version + crc + body), so the
+// minimum legal value is 5. All integers are big-endian. crc is the IEEE
+// CRC-32 of body alone. The body is:
+//
+//	kind: u8 | seq: u64 | xid: u64 | payload
+//
+// kind 1 (commit):       nops: u32, then per op:
+//
+//	                      tlen:u32 table klen:u32 key flags:u8 vlen:u32 value
+//	                      (flags bit0 = delete; deletes carry vlen 0)
+//	kind 2 (safe marker):  empty payload
+//	kind 3 (create table): nlen: u32 | name
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"pgssi/internal/mvcc"
+)
+
+// FormatVersion is the segment/record format version byte.
+const FormatVersion = 1
+
+// MaxRecordSize bounds one record's frame payload (version byte + CRC +
+// body). Frames advertising more are rejected before any allocation.
+const MaxRecordSize = 16 << 20
+
+// Record kinds (wire-stable).
+const (
+	recCommit       = 1
+	recSafeSnapshot = 2
+	recCreateTable  = 3
+)
+
+const (
+	// frameOverhead is what the length prefix covers beyond the body.
+	frameOverhead = 5
+	// frameHeaderSize is the full fixed prefix: length + version + crc.
+	frameHeaderSize = 4 + frameOverhead
+	// bodyFixedSize is the fixed body prefix: kind + seq + xid.
+	bodyFixedSize = 1 + 8 + 8
+)
+
+// Record decode/validation errors. Recovery treats any of them (and any
+// short read) as the damage point: the log ends at the previous record.
+var (
+	ErrRecordTooLarge = errors.New("wal: record exceeds maximum size")
+	ErrBadVersion     = errors.New("wal: unsupported format version")
+	ErrBadCRC         = errors.New("wal: record CRC mismatch")
+	ErrTruncated      = errors.New("wal: truncated record")
+	ErrBadRecord      = errors.New("wal: malformed record")
+)
+
+// encodeFrame encodes rec as one full frame (header + body).
+func encodeFrame(rec Record) []byte {
+	size := bodyFixedSize
+	kind := byte(recCommit)
+	switch {
+	case rec.SafeSnapshot:
+		kind = recSafeSnapshot
+	case rec.CreateTable != "":
+		kind = recCreateTable
+		size += 4 + len(rec.CreateTable)
+	default:
+		size += 4
+		for _, op := range rec.Ops {
+			size += 4 + len(op.Table) + 4 + len(op.Key) + 1 + 4 + len(op.Value)
+		}
+	}
+	frame := make([]byte, frameHeaderSize+size)
+	body := frame[frameHeaderSize:]
+	body[0] = kind
+	binary.BigEndian.PutUint64(body[1:9], uint64(rec.Seq))
+	binary.BigEndian.PutUint64(body[9:17], uint64(rec.Xid))
+	off := bodyFixedSize
+	putBytes := func(b []byte) {
+		binary.BigEndian.PutUint32(body[off:], uint32(len(b)))
+		off += 4
+		off += copy(body[off:], b)
+	}
+	switch kind {
+	case recCreateTable:
+		putBytes([]byte(rec.CreateTable))
+	case recCommit:
+		binary.BigEndian.PutUint32(body[off:], uint32(len(rec.Ops)))
+		off += 4
+		for _, op := range rec.Ops {
+			putBytes([]byte(op.Table))
+			putBytes([]byte(op.Key))
+			if op.Delete {
+				body[off] = 1
+				off++
+				putBytes(nil)
+			} else {
+				body[off] = 0
+				off++
+				putBytes(op.Value)
+			}
+		}
+	}
+	binary.BigEndian.PutUint32(frame[0:4], uint32(size+frameOverhead))
+	frame[4] = FormatVersion
+	binary.BigEndian.PutUint32(frame[5:9], crc32.ChecksumIEEE(body))
+	return frame
+}
+
+// patchSeq stamps the commit sequence number into an already-encoded
+// frame and refreshes its CRC. The engine encodes a commit's record
+// before the commit-sequence assignment and patches the CSN in at its
+// log-position reservation, inside the MVCC publication critical
+// section.
+func patchSeq(frame []byte, seq uint64) {
+	body := frame[frameHeaderSize:]
+	binary.BigEndian.PutUint64(body[1:9], seq)
+	binary.BigEndian.PutUint32(frame[5:9], crc32.ChecksumIEEE(body))
+}
+
+// readFrame reads one frame from r and returns its body, reusing buf
+// when it is large enough. A clean end of input yields io.EOF; a partial
+// frame yields ErrTruncated (wrapping the underlying unexpected-EOF);
+// any other non-nil error marks damage or a real I/O failure.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n < frameOverhead {
+		return nil, ErrBadRecord
+	}
+	if n > MaxRecordSize {
+		return nil, ErrRecordTooLarge
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if hdr[4] != FormatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	want := binary.BigEndian.Uint32(hdr[5:9])
+	bodyLen := int(n) - frameOverhead
+	if cap(buf) < bodyLen {
+		buf = make([]byte, bodyLen)
+	}
+	body := buf[:bodyLen]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrBadCRC
+	}
+	return body, nil
+}
+
+// decodeRecord decodes a frame body. Every length is validated against
+// the remaining body before any slice is taken; values are copied so the
+// Record does not alias the read buffer.
+func decodeRecord(body []byte) (Record, error) {
+	var rec Record
+	if len(body) < bodyFixedSize {
+		return rec, ErrBadRecord
+	}
+	kind := body[0]
+	rec.Seq = mvcc.SeqNo(binary.BigEndian.Uint64(body[1:9]))
+	rec.Xid = mvcc.TxID(binary.BigEndian.Uint64(body[9:17]))
+	rest := body[bodyFixedSize:]
+	take := func() ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, ErrBadRecord
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if n < 0 || n > len(rest) {
+			return nil, ErrBadRecord
+		}
+		b := rest[:n]
+		rest = rest[n:]
+		return b, nil
+	}
+	switch kind {
+	case recSafeSnapshot:
+		rec.SafeSnapshot = true
+	case recCreateTable:
+		name, err := take()
+		if err != nil {
+			return rec, err
+		}
+		if len(name) == 0 {
+			return rec, ErrBadRecord
+		}
+		rec.CreateTable = string(name)
+	case recCommit:
+		if len(rest) < 4 {
+			return rec, ErrBadRecord
+		}
+		nops := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		// Each op needs at least its three length prefixes and the
+		// flags byte; cap the allocation by what the body could hold.
+		if nops < 0 || nops > len(rest)/13+1 {
+			return rec, ErrBadRecord
+		}
+		rec.Ops = make([]Op, 0, nops)
+		for i := 0; i < nops; i++ {
+			table, err := take()
+			if err != nil {
+				return rec, err
+			}
+			key, err := take()
+			if err != nil {
+				return rec, err
+			}
+			if len(rest) < 1 {
+				return rec, ErrBadRecord
+			}
+			flags := rest[0]
+			rest = rest[1:]
+			if flags > 1 {
+				return rec, ErrBadRecord
+			}
+			value, err := take()
+			if err != nil {
+				return rec, err
+			}
+			op := Op{Table: string(table), Key: string(key), Delete: flags == 1}
+			if !op.Delete {
+				op.Value = append([]byte(nil), value...)
+			} else if len(value) != 0 {
+				return rec, ErrBadRecord
+			}
+			rec.Ops = append(rec.Ops, op)
+		}
+	default:
+		return rec, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, kind)
+	}
+	if len(rest) != 0 {
+		return rec, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(rest))
+	}
+	return rec, nil
+}

@@ -1,0 +1,260 @@
+// Filesystem abstraction for the durable WAL, so the fault-injection
+// tests can interpose on writes and fsyncs without touching the segment
+// logic. Production always uses the OS filesystem (Config.FS == nil).
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the subset of *os.File the segment writer and readers need.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS is the filesystem surface the durable WAL runs on. All paths are
+// absolute (the DurableLog joins its directory itself).
+type FS interface {
+	MkdirAll(dir string) error
+	// ReadDir returns the file names (not paths) in dir.
+	ReadDir(dir string) ([]string, error)
+	// Create opens name for writing, creating or truncating it.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// OpenAppend opens name for appending.
+	OpenAppend(name string) (File, error)
+	Truncate(name string, size int64) error
+	Remove(name string) error
+}
+
+// osFS is the production FS.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+func (osFS) Remove(name string) error               { return os.Remove(name) }
+
+// FaultFS is a test-only FS over the real filesystem that models the
+// failure a write-ahead log exists to survive: data that was written but
+// not fsynced is lost at a crash. It tracks, per file it opened for
+// writing, how many bytes the last successful fsync covered; Crash()
+// truncates every such file to its synced length — exactly what the
+// kernel page cache loses when the machine dies — so a test can run a
+// workload, "crash", reopen the directory, and assert the recovery
+// contract. Fsyncs themselves can be made to silently disappear
+// (DropFutureSyncs / DropSyncsAfter, modelling a dropped final fsync)
+// or to fail (FailSyncs).
+//
+// FaultFS must only be used from tests. It assumes append-only writes
+// (which is all the WAL does).
+type FaultFS struct {
+	mu sync.Mutex
+	// written and synced are byte lengths per absolute path.
+	written map[string]int64
+	synced  map[string]int64
+	// allowSyncs is how many more fsyncs succeed before they are
+	// silently dropped; -1 means unlimited.
+	allowSyncs int64
+	syncErr    error
+	syncs      int64
+}
+
+// NewFaultFS returns a FaultFS with fsyncs working normally.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{
+		written:    make(map[string]int64),
+		synced:     make(map[string]int64),
+		allowSyncs: -1,
+	}
+}
+
+// DropFutureSyncs makes every subsequent fsync a silent no-op: writes
+// keep landing in the "page cache" (the real file) but are lost at
+// Crash().
+func (f *FaultFS) DropFutureSyncs() { f.DropSyncsAfter(0) }
+
+// DropSyncsAfter lets the next n fsyncs succeed and silently drops every
+// one after that.
+func (f *FaultFS) DropSyncsAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.allowSyncs = int64(n)
+}
+
+// FailSyncs makes every subsequent fsync return err (nil restores normal
+// operation).
+func (f *FaultFS) FailSyncs(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// Syncs returns how many fsyncs were attempted (including dropped ones).
+func (f *FaultFS) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// Crash simulates a machine crash: every file this FS opened for writing
+// is truncated to the length its last successful fsync covered,
+// discarding the unsynced tail the page cache would lose. The caller
+// must have stopped all writers first (the "process" is dead).
+func (f *FaultFS) Crash() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for name, written := range f.written {
+		synced := f.synced[name]
+		if synced < written {
+			if err := os.Truncate(name, synced); err != nil {
+				return fmt.Errorf("wal: crash truncate %s: %w", filepath.Base(name), err)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error            { return osFS{}.MkdirAll(dir) }
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return osFS{}.ReadDir(dir) }
+func (f *FaultFS) Open(name string) (File, error)       { return osFS{}.Open(name) }
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := (osFS{}).Truncate(name, size); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.written[name]; ok && w > size {
+		f.written[name] = size
+	}
+	if s, ok := f.synced[name]; ok && s > size {
+		f.synced[name] = size
+	}
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := (osFS{}).Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.written, name)
+	delete(f.synced, name)
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := osFS{}.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.written[name] = 0
+	f.synced[name] = 0
+	f.mu.Unlock()
+	return &faultFile{fs: f, name: name, f: file}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	file, err := osFS{}.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	info, err := os.Stat(name)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	f.mu.Lock()
+	// Pre-existing contents (a recovered segment) are considered
+	// durable: recovery already truncated to what survived.
+	f.written[name] = info.Size()
+	f.synced[name] = info.Size()
+	f.mu.Unlock()
+	return &faultFile{fs: f, name: name, f: file}, nil
+}
+
+// faultFile tracks written/synced lengths through its FaultFS.
+type faultFile struct {
+	fs   *FaultFS
+	name string
+	f    File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.f.Read(p) }
+func (ff *faultFile) Close() error               { return ff.f.Close() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	n, err := ff.f.Write(p)
+	if n > 0 {
+		ff.fs.mu.Lock()
+		ff.fs.written[ff.name] += int64(n)
+		ff.fs.mu.Unlock()
+	}
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	ff.fs.syncs++
+	if ff.fs.syncErr != nil {
+		err := ff.fs.syncErr
+		ff.fs.mu.Unlock()
+		return err
+	}
+	if ff.fs.allowSyncs == 0 {
+		// Dropped: the data stays in the "page cache" only.
+		ff.fs.mu.Unlock()
+		return nil
+	}
+	if ff.fs.allowSyncs > 0 {
+		ff.fs.allowSyncs--
+	}
+	written := ff.fs.written[ff.name]
+	ff.fs.mu.Unlock()
+	if err := ff.f.Sync(); err != nil {
+		return err
+	}
+	ff.fs.mu.Lock()
+	if written > ff.fs.synced[ff.name] {
+		ff.fs.synced[ff.name] = written
+	}
+	ff.fs.mu.Unlock()
+	return nil
+}

@@ -1,10 +1,26 @@
-// Package wal implements a logical write-ahead log with log-shipping
-// subscriptions, modelling PostgreSQL's streaming replication (§7.2 of
-// the paper). The master appends one record per committed read/write
-// transaction; the stream also carries safe-snapshot markers — the
-// mechanism the paper proposes ("adding information to the log stream
-// that identifies safe snapshots") so that replicas can run serializable
-// read-only transactions without tracking read dependencies.
+// Package wal implements the engine's write-ahead log: a logical log of
+// committed transactions (plus safe-snapshot markers and schema records)
+// with log-shipping subscriptions, modelling PostgreSQL's streaming
+// replication (§7.2 of the paper — the stream carries the markers that
+// identify safe snapshots, so replicas can run serializable read-only
+// transactions without tracking read dependencies).
+//
+// Two implementations share the Record format and the Stream interface:
+//
+//   - Log is the original in-memory logical log: nothing survives the
+//     process, it exists for replication plumbing and for A/B ablation
+//     against the durable path (pgssi Config.DisableDurableWAL).
+//   - DurableLog (durable.go) persists records to CRC-framed segment
+//     files with group-commit fsync batching and crash recovery; see
+//     docs/wal.md for the normative on-disk format.
+//
+// Records are appended in an order consistent with commit dependencies:
+// the engine reserves a record's log position inside the MVCC commit
+// publication critical section (see internal/mvcc Config.OnCommitPublish
+// and pgssi's commit path), so a transaction that observed another's
+// writes always appears later in the log. Recovery replaying a prefix of
+// the log therefore always reconstructs a dependency-closed prefix of
+// the committed history.
 package wal
 
 import (
@@ -21,19 +37,42 @@ type Op struct {
 	Delete bool
 }
 
-// Record is one WAL entry: either a transaction's commit (Ops non-empty
-// or zero-op commit) or a safe-snapshot marker.
+// Record is one WAL entry: a transaction's commit (Ops non-empty), a
+// safe-snapshot marker, or a schema record (CreateTable non-empty).
 type Record struct {
-	// Seq is the commit sequence number on the master; markers carry
-	// the sequence number of the last commit they follow.
+	// Seq is the commit sequence number on the master; markers and
+	// schema records carry the sequence number of the last commit they
+	// follow.
 	Seq mvcc.SeqNo
+	// Xid is the committing transaction's id (diagnostics and recovery
+	// tracing; zero for markers and schema records).
+	Xid mvcc.TxID
 	// Ops are the transaction's writes in apply order.
 	Ops []Op
 	// SafeSnapshot marks a point in the stream at which no read/write
 	// serializable transaction was in flight on the master: a replica
 	// snapshot taken exactly here is safe (§4.2, §7.2).
 	SafeSnapshot bool
+	// CreateTable, when non-empty, records the creation of a table, so
+	// recovery and replicas can rebuild the schema before applying row
+	// changes.
+	CreateTable string
 }
+
+// Stream is the subscription surface shared by the in-memory Log and the
+// DurableLog: Subscribe returns a channel that first replays every
+// existing record and then streams new ones, plus a cancel function that
+// detaches the subscription and closes the channel.
+type Stream interface {
+	Subscribe() (<-chan Record, func())
+}
+
+// subscriberBuffer is the per-subscriber fan-out buffer. A subscriber
+// that falls this many records behind the appender is disconnected (its
+// channel is closed) rather than allowed to block appends: an appender
+// must never be stalled by a slow or dead subscriber, because in the
+// durable path the append happens inside the commit critical section.
+const subscriberBuffer = 1024
 
 // Log is an in-memory WAL with replay-from-start subscriptions.
 type Log struct {
@@ -47,25 +86,46 @@ func NewLog() *Log {
 	return &Log{}
 }
 
-// Append adds a record and fans it out to subscribers. Subscribers that
-// fall behind block the appender — fine for a simulation; a production
-// system would buffer to disk.
+// Append adds a record and fans it out to subscribers. The send is
+// non-blocking: a subscriber whose buffer is full (it stopped draining,
+// or died without cancelling) is disconnected — its channel is closed
+// and it receives no further records — so an appender is never blocked
+// by a subscriber (overflow-disconnect policy; the replica tier treats a
+// closed stream as "re-subscribe and catch up").
 func (l *Log) Append(r Record) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.records = append(l.records, r)
-	subs := make([]chan Record, len(l.subs))
-	copy(subs, l.subs)
-	l.mu.Unlock()
-	for _, ch := range subs {
-		ch <- r
+	l.fanoutLocked(r)
+}
+
+// fanoutLocked delivers r to every live subscriber, disconnecting any
+// whose buffer is full. Caller holds l.mu, which also orders the closes
+// against Subscribe/cancel.
+func (l *Log) fanoutLocked(r Record) {
+	live := l.subs[:0]
+	for _, ch := range l.subs {
+		select {
+		case ch <- r:
+			live = append(live, ch)
+		default:
+			close(ch)
+		}
 	}
+	// Zero the tail so dropped channels aren't retained by the backing
+	// array.
+	for i := len(live); i < len(l.subs); i++ {
+		l.subs[i] = nil
+	}
+	l.subs = live
 }
 
 // Subscribe returns a channel that first replays every existing record
 // and then streams new ones. The returned cancel function detaches the
-// subscription and closes the channel.
+// subscription and closes the channel. The channel is also closed if the
+// subscriber falls more than the fan-out buffer behind (see Append).
 func (l *Log) Subscribe() (<-chan Record, func()) {
-	ch := make(chan Record, 1024)
+	ch := make(chan Record, subscriberBuffer)
 	l.mu.Lock()
 	backlog := make([]Record, len(l.records))
 	copy(backlog, l.records)
@@ -74,31 +134,7 @@ func (l *Log) Subscribe() (<-chan Record, func()) {
 
 	out := make(chan Record, 64)
 	done := make(chan struct{})
-	go func() {
-		defer close(out)
-		for _, r := range backlog {
-			select {
-			case out <- r:
-			case <-done:
-				return
-			}
-		}
-		for {
-			select {
-			case r, ok := <-ch:
-				if !ok {
-					return
-				}
-				select {
-				case out <- r:
-				case <-done:
-					return
-				}
-			case <-done:
-				return
-			}
-		}
-	}()
+	go forwardRecords(backlog, ch, out, done)
 
 	cancel := func() {
 		l.mu.Lock()
@@ -112,6 +148,35 @@ func (l *Log) Subscribe() (<-chan Record, func()) {
 		close(done)
 	}
 	return out, cancel
+}
+
+// forwardRecords pumps a backlog and then a live channel into out,
+// stopping when done closes or the live channel is closed (producer gone
+// or subscriber disconnected for falling behind).
+func forwardRecords(backlog []Record, live <-chan Record, out chan<- Record, done <-chan struct{}) {
+	defer close(out)
+	for _, r := range backlog {
+		select {
+		case out <- r:
+		case <-done:
+			return
+		}
+	}
+	for {
+		select {
+		case r, ok := <-live:
+			if !ok {
+				return
+			}
+			select {
+			case out <- r:
+			case <-done:
+				return
+			}
+		case <-done:
+			return
+		}
+	}
 }
 
 // Len returns the number of records appended so far.

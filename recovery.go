@@ -1,0 +1,196 @@
+package pgssi
+
+import (
+	"errors"
+	"fmt"
+
+	"pgssi/internal/mvcc"
+	"pgssi/internal/wal"
+)
+
+// Durable WAL wiring: OpenDir recovery on the way in, and the commit
+// path's append-before-acknowledge on the way out.
+//
+// The commit path is split in three so the WAL append order is
+// consistent with commit dependencies:
+//
+//   - walPrepare (committer goroutine, outside all locks) encodes the
+//     transaction's record with a placeholder sequence number and parks
+//     it in db.walPending under the transaction's xid.
+//   - walCommitHook (mvcc.Config.OnCommitPublish) runs inside the MVCC
+//     commit publication critical section, where the CSN is assigned and
+//     the commit becomes visible: it stamps the CSN into the parked
+//     record and reserves its log position. Because no snapshot can
+//     observe the commit before this point, a transaction that read this
+//     one's writes always reserves a later position — every log prefix
+//     is dependency-closed, so recovery of any prefix yields a
+//     transaction-consistent state.
+//   - walFinish (committer goroutine again) waits for the record's group
+//     commit fsync before Commit returns — the durability contract: an
+//     acknowledged commit survives a crash.
+//
+// Aborts (including SSI pre-commit failures) call walAbandon; the hook
+// never fires for them, so nothing reaches the log.
+
+// OpenDir opens a database backed by a durable WAL in dir, running crash
+// recovery first: surviving log records are replayed into storage (in
+// log order, stopping at the first torn or corrupt record — see
+// docs/wal.md) before the DB accepts traffic. Tables recorded in the log
+// are recreated automatically; secondary indexes are not logged and must
+// be recreated by the caller after OpenDir, before loading. With
+// cfg.DisableDurableWAL, OpenDir is exactly Open.
+func OpenDir(dir string, cfg Config) (*DB, error) {
+	db := Open(cfg)
+	if cfg.DisableDurableWAL {
+		return db, nil
+	}
+	wl, err := wal.OpenDir(dir, wal.Config{
+		SegmentSize: cfg.WALSegmentSize,
+		Fsync:       cfg.FsyncMode,
+		GroupWindow: cfg.WALGroupWindow,
+		FS:          cfg.WALFS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Replay before installing the log on the DB: replayed transactions
+	// run down the ordinary commit path, and with db.durable still nil
+	// they do not re-log themselves.
+	if err := db.replayWAL(wl); err != nil {
+		wl.Close()
+		return nil, fmt.Errorf("pgssi: WAL replay: %w", err)
+	}
+	db.durable = wl
+	db.mvcc.SetOnCommitPublish(db.walCommitHook)
+	return db, nil
+}
+
+// replayWAL applies every recovered record to the (empty) database. Each
+// commit record is applied as one snapshot-isolation transaction, so a
+// replayed prefix is exactly the state those transactions produced.
+func (db *DB) replayWAL(wl *wal.DurableLog) error {
+	return wl.Replay(func(rec wal.Record) error {
+		switch {
+		case rec.SafeSnapshot:
+			return nil
+		case rec.CreateTable != "":
+			if _, err := db.table(rec.CreateTable); err == nil {
+				return nil
+			}
+			return db.CreateTable(rec.CreateTable)
+		default:
+			tx, err := db.Begin(TxOptions{Isolation: RepeatableRead})
+			if err != nil {
+				return err
+			}
+			for _, op := range rec.Ops {
+				if _, terr := db.table(op.Table); terr != nil {
+					// A pre-schema-logging log, or a table whose
+					// create-table record was cut off with its tail:
+					// recreate it so the row data is not lost.
+					if cerr := db.CreateTable(op.Table); cerr != nil {
+						tx.Rollback()
+						return cerr
+					}
+				}
+				if op.Delete {
+					if derr := tx.Delete(op.Table, op.Key); derr != nil && !errors.Is(derr, ErrNotFound) {
+						tx.Rollback()
+						return derr
+					}
+				} else if perr := tx.Put(op.Table, op.Key, op.Value); perr != nil {
+					tx.Rollback()
+					return perr
+				}
+			}
+			return tx.Commit()
+		}
+	})
+}
+
+// walPrepare encodes tx's commit record ahead of the commit-sequence
+// assignment and parks it for walCommitHook. Returns nil (nothing will
+// be logged) when the WAL is not durable or the transaction wrote
+// nothing.
+func (db *DB) walPrepare(tx *Tx) *wal.Pending {
+	if db.durable == nil || len(tx.writes) == 0 {
+		return nil
+	}
+	rec := wal.Record{Xid: tx.xid}
+	for wk, vs := range tx.writes {
+		last := vs[len(vs)-1]
+		rec.Ops = append(rec.Ops, wal.Op{
+			Table:  wk.table,
+			Key:    wk.key,
+			Value:  last.value,
+			Delete: last.deleted,
+		})
+	}
+	p := db.durable.PrepareRecord(rec)
+	db.walPending.Store(tx.xid, p)
+	return p
+}
+
+// walCommitHook is the mvcc.Config.OnCommitPublish hook: it reserves the
+// committing transaction's log position inside the publication critical
+// section. Cheap by construction — patch eight bytes, append to the
+// flush queue — all encoding happened in walPrepare and all I/O happens
+// on the WAL flusher goroutine.
+func (db *DB) walCommitHook(xid mvcc.TxID, seq mvcc.SeqNo) {
+	v, ok := db.walPending.LoadAndDelete(xid)
+	if !ok {
+		return
+	}
+	db.durable.Enqueue(v.(*wal.Pending), seq)
+}
+
+// walAbandon discards a parked record whose transaction did not commit.
+func (db *DB) walAbandon(tx *Tx) {
+	if db.durable != nil {
+		db.walPending.Delete(tx.xid)
+	}
+}
+
+// walFinish completes the durable commit path after the MVCC commit
+// published: wait out the group-commit fsync covering tx's record, then
+// append a safe-snapshot marker if the system went quiescent (§7.2; the
+// marker is not waited on). A durability failure is returned to the
+// committer — the commit is visible in memory, but the log is poisoned
+// and every later commit will fail the same way.
+func (db *DB) walFinish(pend *wal.Pending) error {
+	if db.durable == nil {
+		return nil
+	}
+	var err error
+	if pend != nil {
+		err = pend.Wait()
+	}
+	if db.mvcc.ActiveCount() == 0 {
+		db.durable.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), SafeSnapshot: true})
+	}
+	return err
+}
+
+// WALRecoveredRecords reports how many WAL records survived recovery at
+// OpenDir (0 for a fresh directory or a non-durable DB).
+func (db *DB) WALRecoveredRecords() int {
+	if db.durable == nil {
+		return 0
+	}
+	return db.durable.RecoveredRecords()
+}
+
+// WALStats returns the durable WAL's counters (zero value for a
+// non-durable DB). Stats.Appends/Stats.Fsyncs is the group-commit
+// amortization ratio.
+func (db *DB) WALStats() wal.Stats {
+	if db.durable == nil {
+		return wal.Stats{}
+	}
+	return db.durable.Stats()
+}
+
+// DurableWAL returns the on-disk WAL, or nil if the DB was not opened
+// with one. Replicas subscribe to it directly (it implements
+// wal.Stream).
+func (db *DB) DurableWAL() *wal.DurableLog { return db.durable }

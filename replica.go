@@ -42,8 +42,12 @@ type ReplicaTxOptions struct {
 }
 
 // NewReplica creates a standby that replays log and mirrors the schema of
-// the given tables.
-func NewReplica(log *wal.Log, tables []string) (*Replica, error) {
+// the given tables. The log may be the in-memory wal.Log or a durable
+// wal.DurableLog (DB.DurableWAL) — a durable stream replays everything
+// on disk first, so a replica attached to a restarted master catches up
+// from the beginning of the log; tables recorded in the stream are
+// created automatically.
+func NewReplica(log wal.Stream, tables []string) (*Replica, error) {
 	db := Open(Config{})
 	for _, t := range tables {
 		if err := db.CreateTable(t); err != nil {
@@ -86,9 +90,16 @@ func (r *Replica) applyLoop(ch <-chan wal.Record) {
 	r.mu.Unlock()
 }
 
-// applyRecord applies one transaction's ops. Caller holds r.mu, which
-// also serializes appliers against snapshot-taking readers.
+// applyRecord applies one transaction's ops (or one schema record).
+// Caller holds r.mu, which also serializes appliers against
+// snapshot-taking readers.
 func (r *Replica) applyRecord(rec wal.Record) {
+	if rec.CreateTable != "" {
+		if _, err := r.db.table(rec.CreateTable); err != nil {
+			_ = r.db.CreateTable(rec.CreateTable)
+		}
+		return
+	}
 	tx, err := r.db.Begin(TxOptions{Isolation: RepeatableRead})
 	if err != nil {
 		return

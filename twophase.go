@@ -70,10 +70,12 @@ func (db *DB) CommitPrepared(gid string) error {
 	if err != nil {
 		return err
 	}
+	pend := db.walPrepare(tx)
 	if tx.x != nil {
 		if err := db.ssi.CommitPrepared(tx.x, func() mvcc.SeqNo {
 			return db.mvcc.Commit(tx.xid)
 		}); err != nil {
+			db.walAbandon(tx)
 			return err
 		}
 	} else {
@@ -82,7 +84,7 @@ func (db *DB) CommitPrepared(gid string) error {
 	tx.done = true
 	tx.prepared = false
 	db.emitWAL(tx)
-	return nil
+	return db.walFinish(pend)
 }
 
 // RollbackPrepared rolls back the prepared transaction gid (a user or

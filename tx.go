@@ -178,6 +178,13 @@ func (tx *Tx) checkUsable(write bool) error {
 // Commit finishes the transaction. Under Serializable the pre-commit
 // serialization check may fail, in which case the transaction is rolled
 // back and a serialization failure is returned: retry the transaction.
+//
+// With the durable WAL open (OpenDir), Commit returns only after the
+// transaction's record is on disk per the configured fsync mode: the
+// record is encoded before the commit-sequence assignment, its log
+// position is reserved inside the MVCC publication critical section
+// (see recovery.go), and the committer then waits for the group-commit
+// fsync that covers it.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
@@ -185,12 +192,14 @@ func (tx *Tx) Commit() error {
 	if tx.prepared {
 		return ErrPrepared
 	}
+	pend := tx.db.walPrepare(tx)
 	switch tx.level {
 	case Serializable:
 		err := tx.db.ssi.Commit(tx.x, func() mvcc.SeqNo {
 			return tx.db.mvcc.Commit(tx.xid)
 		})
 		if err != nil {
+			tx.db.walAbandon(tx)
 			tx.rollbackLocked()
 			return serializationFailure("pre-commit dangerous structure check")
 		}
@@ -202,7 +211,7 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	tx.db.emitWAL(tx)
-	return nil
+	return tx.db.walFinish(pend)
 }
 
 // Rollback aborts the transaction. Rolling back a finished transaction

@@ -1,0 +1,70 @@
+package pgssi_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"pgssi"
+)
+
+// BenchmarkGroupCommit measures the durable commit path under parallel
+// committers for each fsync mode. The figure of merit for batch mode is
+// commits/fsync: how many concurrent committers piggyback on a single
+// group fsync. always pins it at ~1 (every commit pays its own sync),
+// off removes syncs entirely and bounds the WAL's non-durability cost.
+// Nightly CI archives this with -benchmem.
+func BenchmarkGroupCommit(b *testing.B) {
+	modes := []struct {
+		name string
+		mode pgssi.FsyncMode
+	}{
+		{"always", pgssi.FsyncAlways},
+		{"batch", pgssi.FsyncBatch},
+		{"off", pgssi.FsyncOff},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			db, err := pgssi.OpenDir(b.TempDir(), pgssi.Config{FsyncMode: m.mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.CreateTable("t"); err != nil {
+				b.Fatal(err)
+			}
+			var ctr atomic.Uint64
+			val := []byte("group-commit-payload")
+			// Group commit needs many committers in flight at once;
+			// RunParallel's default (GOMAXPROCS goroutines) leaves batch
+			// mode with nothing to batch on small machines.
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := ctr.Add(1)
+					tx, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := tx.Insert("t", fmt.Sprintf("k%016d", id), val); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := db.WALStats()
+			if st.Fsyncs > 0 {
+				b.ReportMetric(float64(b.N)/float64(st.Fsyncs), "commits/fsync")
+			}
+			b.ReportMetric(float64(st.Fsyncs), "fsyncs")
+			b.ReportMetric(float64(st.BytesWritten)/float64(b.N), "walB/commit")
+		})
+	}
+}
