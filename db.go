@@ -373,7 +373,17 @@ func (db *DB) CreateTable(name string) error {
 	}
 	db.mu.Unlock()
 	if db.durable != nil {
-		return db.durable.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), CreateTable: name}).Wait()
+		if err := db.durable.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), CreateTable: name}).Wait(); err != nil {
+			// The creation never became durable (closed or poisoned
+			// log): undo the in-memory entry so the failure is not
+			// followed by a lying "already exists" on retry. A
+			// concurrent writer that raced into the table loses it too
+			// — its commit fails on the same poisoned log.
+			db.mu.Lock()
+			delete(db.tables, name)
+			db.mu.Unlock()
+			return fmt.Errorf("pgssi: create table %q: %w", name, err)
+		}
 	}
 	return nil
 }

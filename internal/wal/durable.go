@@ -122,7 +122,14 @@ type Pending struct {
 	frame  []byte
 	rec    Record
 	ticket *Ticket
+	err    error // set at PrepareRecord for records that must not be logged
 }
+
+// Err reports whether the record was rejected at PrepareRecord (e.g.
+// ErrRecordTooLarge). Callers should check it before entering the
+// commit critical section: a rejected record never reaches the log, so
+// the commit should fail before it is published, not after.
+func (p *Pending) Err() error { return p.err }
 
 // Wait blocks until the enqueued record is durable (see Ticket.Wait).
 // It must only be called after Enqueue.
@@ -273,6 +280,15 @@ func OpenDir(dir string, cfg Config) (*DurableLog, error) {
 		}
 		l.cur, l.curIndex, l.curSize = f, last.index, last.size
 	}
+	// Make the directory's metadata durable before accepting traffic:
+	// recovery may have removed or truncated segments, and a fresh open
+	// created one — none of those entries survive a power loss until
+	// the directory itself is fsynced.
+	if err := l.fs.SyncDir(dir); err != nil {
+		l.cur.Close()
+		return nil, err
+	}
+	l.stats.Fsyncs++
 	return l, nil
 }
 
@@ -414,7 +430,16 @@ func (l *DurableLog) Replay(fn func(Record) error) error {
 
 // PrepareRecord encodes rec into a Pending, ready for Enqueue. Safe to
 // call with rec.Seq unset: Enqueue stamps the final sequence number.
+//
+// A record whose frame would exceed MaxRecordSize is rejected here
+// (Pending.Err reports ErrRecordTooLarge) and will never be written:
+// readFrame refuses such frames, so writing one would make an
+// acknowledged commit — and everything after it — look like damage on
+// recovery.
 func (l *DurableLog) PrepareRecord(rec Record) *Pending {
+	if err := ValidateRecord(rec); err != nil {
+		return &Pending{rec: rec, err: err}
+	}
 	return &Pending{frame: encodeFrame(rec), rec: rec}
 }
 
@@ -426,6 +451,14 @@ func (l *DurableLog) PrepareRecord(rec Record) *Pending {
 // PrepareRecord and all I/O happens on the flusher goroutine. Call
 // p.Wait afterwards (outside the critical section) for durability.
 func (l *DurableLog) Enqueue(p *Pending, seq mvcc.SeqNo) {
+	if p.err != nil {
+		// Rejected at PrepareRecord (oversize): the record must never
+		// reach the log — recovery could not read it back. The caller
+		// should have failed the commit on Pending.Err already; this is
+		// the backstop that keeps the log recoverable regardless.
+		p.ticket = failedTicket(p.err)
+		return
+	}
 	patchSeq(p.frame, uint64(seq))
 	p.rec.Seq = seq
 	l.mu.Lock()
@@ -507,11 +540,24 @@ func (l *DurableLog) flushLoop() {
 		err := l.flushErr
 		l.mu.Unlock()
 
+		wrote := false
 		if err == nil {
+			wrote = true
 			err = l.writeBatch(batch)
 		}
 
+		// Publish the batch's on-disk region and retire it from
+		// inflight in ONE critical section: a Subscribe snapshot must
+		// never see a record both in a published segment region and in
+		// inflight (it would deliver the record twice).
 		l.mu.Lock()
+		if wrote {
+			if err == nil {
+				l.publishSizesLocked()
+			}
+			l.stats.BytesWritten += l.batchBytes
+			l.stats.Fsyncs += l.batchSyncs
+		}
 		l.inflight = nil
 		if err != nil && l.flushErr == nil {
 			l.flushErr = err
@@ -530,8 +576,9 @@ func (l *DurableLog) flushLoop() {
 
 // writeBatch writes one batch of frames to the current segment, rotating
 // as needed, and fsyncs per the mode. Runs on the flusher goroutine with
-// exclusive access to cur/curIndex/curSize. Published segment sizes are
-// updated atomically (with respect to l.mu) at the end, so Subscribe's
+// exclusive access to cur/curIndex/curSize. It does NOT publish the new
+// segment sizes: flushLoop publishes them (publishSizesLocked) in the
+// same l.mu critical section that clears l.inflight, so Subscribe's
 // disk-plus-inflight-plus-pending snapshot never double-counts a record.
 func (l *DurableLog) writeBatch(batch []queued) error {
 	l.filled = l.filled[:0]
@@ -555,7 +602,14 @@ func (l *DurableLog) writeBatch(batch []queued) error {
 		}
 		l.batchSyncs++
 	}
-	l.mu.Lock()
+	return nil
+}
+
+// publishSizesLocked exposes the regions writeBatch just wrote (filled
+// segments' final sizes plus the current segment's new size) to readers.
+// Caller holds l.mu and must clear l.inflight in the same critical
+// section.
+func (l *DurableLog) publishSizesLocked() {
 	for _, fm := range l.filled {
 		for j := len(l.segs) - 1; j >= 0; j-- {
 			if l.segs[j].index == fm.index {
@@ -570,10 +624,6 @@ func (l *DurableLog) writeBatch(batch []queued) error {
 			break
 		}
 	}
-	l.stats.BytesWritten += l.batchBytes
-	l.stats.Fsyncs += l.batchSyncs
-	l.mu.Unlock()
-	return nil
 }
 
 // rotate seals the current segment (fsyncing it unless FsyncOff) and
@@ -596,6 +646,16 @@ func (l *DurableLog) rotate() error {
 	}
 	l.cur, l.curIndex, l.curSize = f, idx, segmentHeaderSize
 	l.batchBytes += segmentHeaderSize
+	if l.cfg.Fsync != FsyncOff {
+		// Persist the new segment's directory entry before any record
+		// in it is acknowledged: fsyncing the file alone does not make
+		// it reachable after a power loss — a lost entry would silently
+		// drop the whole segment on recovery.
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return err
+		}
+		l.batchSyncs++
+	}
 	l.mu.Lock()
 	l.segs = append(l.segs, segMeta{index: idx, path: l.segPath(idx), size: segmentHeaderSize})
 	l.mu.Unlock()
@@ -693,6 +753,16 @@ func (l *DurableLog) Close() error {
 				err = serr
 			} else {
 				l.stats.Fsyncs++
+			}
+			// FsyncOff rotations skip the directory fsync; a clean
+			// shutdown settles the debt so every segment's entry is
+			// durable.
+			if err == nil {
+				if serr := l.fs.SyncDir(l.dir); serr != nil {
+					err = serr
+				} else {
+					l.stats.Fsyncs++
+				}
 			}
 		}
 		if cerr := l.cur.Close(); cerr != nil && err == nil {

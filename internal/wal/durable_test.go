@@ -585,3 +585,174 @@ func TestParseFsyncMode(t *testing.T) {
 		t.Fatal("bad mode accepted")
 	}
 }
+
+// TestOversizeRecordRejectedBeforeLogging pins the write-side half of
+// the MaxRecordSize contract: a record whose frame readFrame would
+// refuse must fail the append explicitly — if it were written and
+// acknowledged, recovery would see it as damage and silently truncate
+// the log there, discarding the acknowledged commit and everything
+// after it.
+func TestOversizeRecordRejectedBeforeLogging(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, Config{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := Record{Seq: 1, Xid: 1, Ops: []Op{{Table: "t", Key: "k", Value: make([]byte, MaxRecordSize)}}}
+	if err := ValidateRecord(big); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("ValidateRecord = %v, want ErrRecordTooLarge", err)
+	}
+	p := l.PrepareRecord(big)
+	if !errors.Is(p.Err(), ErrRecordTooLarge) {
+		t.Fatalf("PrepareRecord.Err = %v, want ErrRecordTooLarge", p.Err())
+	}
+	// Even if a caller ignores Err, Enqueue is the backstop: the record
+	// must never join the flush queue.
+	l.Enqueue(p, 1)
+	if err := p.Wait(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("Wait after oversize Enqueue = %v, want ErrRecordTooLarge", err)
+	}
+	if err := l.Append(big).Wait(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversize Append = %v, want ErrRecordTooLarge", err)
+	}
+	// The rejection is per-record, not a log failure: the log is not
+	// poisoned and later appends succeed.
+	mustAppend(t, l, commitRec(2, "a", "ok"))
+	if s := l.Stats(); s.Appends != 1 {
+		t.Fatalf("oversize record counted as append: %+v", s)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenDir(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := replayAll(t, l2)
+	if len(recs) != 1 || recs[0].Seq != 2 {
+		t.Fatalf("recovered %d records (want just seq 2): %+v", len(recs), recs)
+	}
+}
+
+// TestSubscribeExactlyOnce races Subscribe against the group-commit
+// flusher: a subscription's backlog snapshot (published segment regions
+// + inflight batch + pending queue) plus its live stream must deliver
+// every record exactly once, whatever instant the snapshot is taken —
+// in particular not twice for a batch caught between its disk write and
+// its retirement from inflight.
+func TestSubscribeExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, Config{Fsync: FsyncBatch, GroupWindow: 200 * time.Microsecond, SegmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 300
+	go func() {
+		for i := 1; i <= n; i++ {
+			l.Append(commitRec(uint64(i), fmt.Sprintf("k%d", i), "v"))
+		}
+	}()
+	for it := 0; it < 40; it++ {
+		ch, cancel := l.Subscribe()
+		seen := make(map[mvcc.SeqNo]bool, n)
+		for r := range ch {
+			if seen[r.Seq] {
+				cancel()
+				t.Fatalf("subscription %d: record seq %d delivered twice", it, r.Seq)
+			}
+			seen[r.Seq] = true
+			if len(seen) == n {
+				break
+			}
+		}
+		cancel()
+		if len(seen) != n {
+			t.Fatalf("subscription %d: stream ended after %d/%d records", it, len(seen), n)
+		}
+	}
+}
+
+// TestRotatedSegmentsSurviveCrash pins the directory fsync in rotate: a
+// freshly created segment's directory entry must be durable before any
+// record in it is acknowledged. Without it, fsyncing the segment's data
+// is not enough — a power loss can lose the entry, and every
+// acknowledged commit in that segment silently vanishes on recovery.
+func TestRotatedSegmentsSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS()
+	l, err := OpenDir(dir, Config{Fsync: FsyncAlways, SegmentSize: 256, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 1; i <= n; i++ {
+		mustAppend(t, l, commitRec(uint64(i), fmt.Sprintf("k%03d", i), "value-payload"))
+	}
+	if s := l.Stats(); s.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", s.Segments)
+	}
+	// Machine dies with no clean Close.
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenDir(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := replayAll(t, l2)
+	if len(recs) != n {
+		t.Fatalf("recovered %d of %d acknowledged records after crash with rotation", len(recs), n)
+	}
+}
+
+// TestUnsyncedDirEntryLostAtCrash drives the complementary fault: when
+// the directory fsync after a rotation is dropped (lying disk), the new
+// segment's entry is lost at the crash and recovery must come up
+// cleanly with exactly the records synced before the drop point.
+func TestUnsyncedDirEntryLostAtCrash(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS()
+	l, err := OpenDir(dir, Config{Fsync: FsyncAlways, SegmentSize: 200, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, l, commitRec(uint64(i), fmt.Sprintf("k%d", i), "synced"))
+	}
+	ffs.DropFutureSyncs()
+	// These appends rotate into new segments whose directory entries
+	// (and data syncs) are all dropped.
+	for i := 4; i <= 12; i++ {
+		mustAppend(t, l, commitRec(uint64(i), fmt.Sprintf("k%d", i), "unsynced"))
+	}
+	if s := l.Stats(); s.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", s.Segments)
+	}
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := osFS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("crash kept %d segment files %v, want only the first (later entries were never dir-synced)", len(names), names)
+	}
+	l2, err := OpenDir(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := replayAll(t, l2)
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want exactly the 3 synced ones", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != mvcc.SeqNo(i+1) || string(r.Ops[0].Value) != "synced" {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+	}
+}

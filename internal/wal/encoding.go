@@ -65,21 +65,47 @@ var (
 	ErrBadRecord      = errors.New("wal: malformed record")
 )
 
-// encodeFrame encodes rec as one full frame (header + body).
-func encodeFrame(rec Record) []byte {
+// frameBodySize returns the body size encodeFrame would produce for
+// rec. PrepareRecord uses it to reject oversize records before the
+// frame is allocated: MaxRecordSize is a write-side contract as much as
+// a read-side one — a frame larger than readFrame accepts must never be
+// written, or recovery would treat the acknowledged record as damage
+// and truncate the log there.
+func frameBodySize(rec Record) int {
 	size := bodyFixedSize
-	kind := byte(recCommit)
 	switch {
 	case rec.SafeSnapshot:
-		kind = recSafeSnapshot
 	case rec.CreateTable != "":
-		kind = recCreateTable
 		size += 4 + len(rec.CreateTable)
 	default:
 		size += 4
 		for _, op := range rec.Ops {
 			size += 4 + len(op.Table) + 4 + len(op.Key) + 1 + 4 + len(op.Value)
 		}
+	}
+	return size
+}
+
+// ValidateRecord reports whether rec can ever be logged: a record whose
+// frame would exceed MaxRecordSize is rejected with ErrRecordTooLarge,
+// without encoding anything. Callers that must not fail after a point
+// of no return (e.g. two-phase Prepare) validate up front.
+func ValidateRecord(rec Record) error {
+	if frameBodySize(rec)+frameOverhead > MaxRecordSize {
+		return ErrRecordTooLarge
+	}
+	return nil
+}
+
+// encodeFrame encodes rec as one full frame (header + body).
+func encodeFrame(rec Record) []byte {
+	size := frameBodySize(rec)
+	kind := byte(recCommit)
+	switch {
+	case rec.SafeSnapshot:
+		kind = recSafeSnapshot
+	case rec.CreateTable != "":
+		kind = recCreateTable
 	}
 	frame := make([]byte, frameHeaderSize+size)
 	body := frame[frameHeaderSize:]

@@ -34,6 +34,11 @@ type FS interface {
 	OpenAppend(name string) (File, error)
 	Truncate(name string, size int64) error
 	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making its entries (files
+	// created or removed in it) durable. Creating and fsyncing a file
+	// does not persist its directory entry; until SyncDir, a power loss
+	// can make the file unreachable even though its data survived.
+	SyncDir(dir string) error
 }
 
 // osFS is the production FS.
@@ -69,6 +74,18 @@ func (osFS) OpenAppend(name string) (File, error) {
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 func (osFS) Remove(name string) error               { return os.Remove(name) }
 
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // FaultFS is a test-only FS over the real filesystem that models the
 // failure a write-ahead log exists to survive: data that was written but
 // not fsynced is lost at a crash. It tracks, per file it opened for
@@ -76,9 +93,13 @@ func (osFS) Remove(name string) error               { return os.Remove(name) }
 // truncates every such file to its synced length — exactly what the
 // kernel page cache loses when the machine dies — so a test can run a
 // workload, "crash", reopen the directory, and assert the recovery
-// contract. Fsyncs themselves can be made to silently disappear
-// (DropFutureSyncs / DropSyncsAfter, modelling a dropped final fsync)
-// or to fail (FailSyncs).
+// contract. Directory entries are modelled too: a file created but
+// whose directory was not successfully SyncDir'd since is REMOVED at
+// Crash() — a power loss can lose the entry of a freshly created file
+// even when its data was fsynced, leaving the data unreachable. Fsyncs
+// themselves (file and directory alike) can be made to silently
+// disappear (DropFutureSyncs / DropSyncsAfter, modelling a dropped
+// final fsync) or to fail (FailSyncs).
 //
 // FaultFS must only be used from tests. It assumes append-only writes
 // (which is all the WAL does).
@@ -87,6 +108,10 @@ type FaultFS struct {
 	// written and synced are byte lengths per absolute path.
 	written map[string]int64
 	synced  map[string]int64
+	// newEntries tracks, per directory, files created since the last
+	// successful SyncDir: their directory entries are volatile and lost
+	// at Crash.
+	newEntries map[string]map[string]bool
 	// allowSyncs is how many more fsyncs succeed before they are
 	// silently dropped; -1 means unlimited.
 	allowSyncs int64
@@ -99,6 +124,7 @@ func NewFaultFS() *FaultFS {
 	return &FaultFS{
 		written:    make(map[string]int64),
 		synced:     make(map[string]int64),
+		newEntries: make(map[string]map[string]bool),
 		allowSyncs: -1,
 	}
 }
@@ -131,13 +157,26 @@ func (f *FaultFS) Syncs() int64 {
 	return f.syncs
 }
 
-// Crash simulates a machine crash: every file this FS opened for writing
-// is truncated to the length its last successful fsync covered,
-// discarding the unsynced tail the page cache would lose. The caller
-// must have stopped all writers first (the "process" is dead).
+// Crash simulates a machine crash: files whose directory entry was
+// never made durable (created with no successful SyncDir since) are
+// removed outright — their data is unreachable, however much of it was
+// fsynced — and every other file this FS opened for writing is
+// truncated to the length its last successful fsync covered, discarding
+// the unsynced tail the page cache would lose. The caller must have
+// stopped all writers first (the "process" is dead).
 func (f *FaultFS) Crash() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	for dir, ents := range f.newEntries {
+		for name := range ents {
+			if err := os.Remove(name); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: crash unlink %s: %w", filepath.Base(name), err)
+			}
+			delete(f.written, name)
+			delete(f.synced, name)
+		}
+		delete(f.newEntries, dir)
+	}
 	for name, written := range f.written {
 		synced := f.synced[name]
 		if synced < written {
@@ -176,6 +215,37 @@ func (f *FaultFS) Remove(name string) error {
 	defer f.mu.Unlock()
 	delete(f.written, name)
 	delete(f.synced, name)
+	if ents := f.newEntries[filepath.Dir(name)]; ents != nil {
+		delete(ents, name)
+	}
+	return nil
+}
+
+// SyncDir makes the directory's entries durable, subject to the same
+// drop/fail knobs as file fsyncs: a dropped SyncDir leaves every entry
+// created since the last successful one volatile (lost at Crash).
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	f.syncs++
+	if f.syncErr != nil {
+		err := f.syncErr
+		f.mu.Unlock()
+		return err
+	}
+	if f.allowSyncs == 0 {
+		f.mu.Unlock()
+		return nil
+	}
+	if f.allowSyncs > 0 {
+		f.allowSyncs--
+	}
+	f.mu.Unlock()
+	if err := (osFS{}).SyncDir(dir); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.newEntries, dir)
+	f.mu.Unlock()
 	return nil
 }
 
@@ -187,6 +257,11 @@ func (f *FaultFS) Create(name string) (File, error) {
 	f.mu.Lock()
 	f.written[name] = 0
 	f.synced[name] = 0
+	dir := filepath.Dir(name)
+	if f.newEntries[dir] == nil {
+		f.newEntries[dir] = make(map[string]bool)
+	}
+	f.newEntries[dir][name] = true
 	f.mu.Unlock()
 	return &faultFile{fs: f, name: name, f: file}, nil
 }

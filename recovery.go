@@ -109,13 +109,26 @@ func (db *DB) replayWAL(wl *wal.DurableLog) error {
 }
 
 // walPrepare encodes tx's commit record ahead of the commit-sequence
-// assignment and parks it for walCommitHook. Returns nil (nothing will
-// be logged) when the WAL is not durable or the transaction wrote
-// nothing.
-func (db *DB) walPrepare(tx *Tx) *wal.Pending {
+// assignment and parks it for walCommitHook. Returns (nil, nil) —
+// nothing will be logged — when the WAL is not durable or the
+// transaction wrote nothing. A record the log cannot accept (its frame
+// would exceed wal.MaxRecordSize, which recovery could never read back)
+// fails here, BEFORE the commit is published: the transaction must
+// abort rather than commit in memory only.
+func (db *DB) walPrepare(tx *Tx) (*wal.Pending, error) {
 	if db.durable == nil || len(tx.writes) == 0 {
-		return nil
+		return nil, nil
 	}
+	p := db.durable.PrepareRecord(db.buildWALRecord(tx))
+	if err := p.Err(); err != nil {
+		return nil, fmt.Errorf("pgssi: commit record: %w", err)
+	}
+	db.walPending.Store(tx.xid, p)
+	return p, nil
+}
+
+// buildWALRecord assembles tx's commit record from its write set.
+func (db *DB) buildWALRecord(tx *Tx) wal.Record {
 	rec := wal.Record{Xid: tx.xid}
 	for wk, vs := range tx.writes {
 		last := vs[len(vs)-1]
@@ -126,9 +139,22 @@ func (db *DB) walPrepare(tx *Tx) *wal.Pending {
 			Delete: last.deleted,
 		})
 	}
-	p := db.durable.PrepareRecord(rec)
-	db.walPending.Store(tx.xid, p)
-	return p
+	return rec
+}
+
+// walValidate checks that tx's writes can be logged at all (the frame
+// size cap), without encoding or parking anything. Prepare calls it so
+// a transaction that could never be made durable is rejected before the
+// transaction manager records a yes-vote — CommitPrepared must not be
+// the first place the oversize surfaces.
+func (db *DB) walValidate(tx *Tx) error {
+	if db.durable == nil || len(tx.writes) == 0 {
+		return nil
+	}
+	if err := wal.ValidateRecord(db.buildWALRecord(tx)); err != nil {
+		return fmt.Errorf("pgssi: commit record: %w", err)
+	}
+	return nil
 }
 
 // walCommitHook is the mvcc.Config.OnCommitPublish hook: it reserves the

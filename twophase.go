@@ -35,6 +35,12 @@ func (tx *Tx) Prepare(gid string) error {
 		return fmt.Errorf("pgssi: prepared transaction %q already exists", gid)
 	}
 	tx.db.prepMu.Unlock()
+	if err := tx.db.walValidate(tx); err != nil {
+		// The WAL can never accept this transaction's commit record
+		// (oversize), so a yes-vote would be a lie: roll back now.
+		tx.rollbackLocked()
+		return err
+	}
 	if tx.x != nil {
 		st, err := tx.db.ssi.Prepare(tx.x)
 		if err != nil {
@@ -70,7 +76,16 @@ func (db *DB) CommitPrepared(gid string) error {
 	if err != nil {
 		return err
 	}
-	pend := db.walPrepare(tx)
+	pend, perr := db.walPrepare(tx)
+	if perr != nil {
+		// Unreachable when Prepare validated the record (the write set
+		// is frozen after Prepare); restore the prepared entry so the
+		// transaction manager can still decide its fate.
+		db.prepMu.Lock()
+		db.prepared[gid] = tx
+		db.prepMu.Unlock()
+		return perr
+	}
 	if tx.x != nil {
 		if err := db.ssi.CommitPrepared(tx.x, func() mvcc.SeqNo {
 			return db.mvcc.Commit(tx.xid)

@@ -192,7 +192,14 @@ func (tx *Tx) Commit() error {
 	if tx.prepared {
 		return ErrPrepared
 	}
-	pend := tx.db.walPrepare(tx)
+	pend, perr := tx.db.walPrepare(tx)
+	if perr != nil {
+		// The WAL cannot accept the commit record (e.g. oversize):
+		// abort before publication, so the commit is neither visible
+		// nor acknowledged.
+		tx.rollbackLocked()
+		return perr
+	}
 	switch tx.level {
 	case Serializable:
 		err := tx.db.ssi.Commit(tx.x, func() mvcc.SeqNo {
