@@ -5,10 +5,17 @@
 // in-flight transactions finish or abort after -drain-timeout, then
 // close and quiesce the engine).
 //
+// With -replicate-from it runs as a read-only replica instead: it
+// streams the named primary's WAL (reconnecting and resuming from its
+// applied position on any interruption), applies it locally, and serves
+// the same protocol restricted to read-only transactions — serializable
+// ones run on safe snapshots only (docs/wal.md, "Replication").
+//
 // Example:
 //
 //	pgssid -addr :6432 -tables kv -preload 1000000
-//	pgload -addr :6432 -rate 3000 -duration 30s -keys 1000000
+//	pgssid -addr :6433 -replicate-from 127.0.0.1:6432
+//	pgload -addr :6432 -replicas 127.0.0.1:6433 -readfrac 0.9 -rate 3000
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"pgssi"
 	"pgssi/internal/server"
 	"pgssi/internal/wal"
+	"pgssi/internal/wire"
 	"pgssi/internal/workload"
 )
 
@@ -38,10 +46,51 @@ func main() {
 		partitions   = flag.Int("partitions", 0, "SIREAD lock table partitions (0 = default)")
 		dataDir      = flag.String("data", "", "data directory for the durable WAL (empty = in-memory, nothing survives restart)")
 		fsyncMode    = flag.String("fsync", "batch", "fsync mode with -data: always, batch, or off")
+		replFrom     = flag.String("replicate-from", "", "primary's address: run as a read-only replica of it (schema and data arrive via the stream)")
 	)
 	flag.Parse()
 	log.SetPrefix("pgssid: ")
 	log.SetFlags(0)
+
+	srvCfg := server.Config{
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drainTimeout,
+		Logf:         log.Printf,
+	}
+	if *replFrom != "" {
+		if *dataDir != "" || *preload > 0 {
+			log.Fatal("-replicate-from is incompatible with -data and -preload: a replica's state comes from the stream")
+		}
+		// Tables normally arrive as schema records in the stream; -tables
+		// pre-creates them for primaries whose in-memory WAL carries no
+		// schema records.
+		var names []string
+		for _, t := range strings.Split(*tables, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				names = append(names, t)
+			}
+		}
+		rep, err := pgssi.NewReplica(&wire.ReplicaSource{Addr: *replFrom, DialTimeout: 10 * time.Second}, names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := server.NewReplicaServer(rep, srvCfg)
+		srv.DrainOnSignal()
+		log.Printf("replica of %s listening on %s (tables=%s)", *replFrom, *addr, *tables)
+		if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
+			log.Fatal(err)
+		}
+		rep.Close()
+		applied, aerr := rep.AppliedRecords()
+		if aerr != nil {
+			log.Printf("replica halted: %v", aerr)
+			os.Exit(1)
+		}
+		log.Printf("drained at %d applied records (seq %d, safe %d), bye", applied, rep.AppliedSeq(), rep.SafeSeq())
+		os.Exit(0)
+	}
 
 	cfg := pgssi.Config{Partitions: *partitions}
 	var db *pgssi.DB
@@ -63,6 +112,11 @@ func main() {
 		}
 	} else {
 		db = pgssi.Open(cfg)
+		// Replication streams the WAL, so an in-memory primary needs one
+		// too — the log retains the full history (and its fan-out buffers)
+		// in memory, which is the same durability trade the rest of the
+		// in-memory mode already makes.
+		db.AttachWAL(wal.NewLog())
 	}
 	names := strings.Split(*tables, ",")
 	for _, t := range names {
@@ -93,13 +147,7 @@ func main() {
 		log.Printf("preloaded %d rows into %q in %s", *preload, names[0], time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := server.New(db, server.Config{
-		MaxConns:     *maxConns,
-		IdleTimeout:  *idleTimeout,
-		WriteTimeout: *writeTimeout,
-		DrainTimeout: *drainTimeout,
-		Logf:         log.Printf,
-	})
+	srv := server.New(db, srvCfg)
 	srv.DrainOnSignal()
 	log.Printf("listening on %s (tables=%s preload=%d maxconns=%d)", *addr, *tables, *preload, *maxConns)
 	err := srv.ListenAndServe(*addr)

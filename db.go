@@ -328,6 +328,11 @@ type DB struct {
 
 	walMu  sync.Mutex
 	walLog *wal.Log
+	// markerSeq is the highest commit sequence a safe-snapshot marker
+	// has been emitted at, deduplicating the abort-path markers (every
+	// commit advances the sequence, so commit-path markers are
+	// naturally distinct).
+	markerSeq atomic.Uint64
 
 	// durable is the on-disk WAL, non-nil only for OpenDir without
 	// DisableDurableWAL; walPending carries each committing
@@ -459,6 +464,27 @@ func (db *DB) AttachWAL(log *wal.Log) {
 	db.walLog = log
 }
 
+// WALStream returns the stream replicas subscribe to: the durable log
+// when one is open, else an attached in-memory log, else nil (this
+// database emits no WAL and cannot feed a replica). The server's
+// replication endpoint serves exactly this stream.
+func (db *DB) WALStream() wal.Stream {
+	if db.durable != nil {
+		return db.durable
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.walLog != nil {
+		return db.walLog
+	}
+	return nil
+}
+
+// CurrentSeq returns the newest assigned commit sequence number: the
+// primary's position in its own history, against which a router
+// measures replica lag.
+func (db *DB) CurrentSeq() uint64 { return uint64(db.mvcc.CurrentSeq()) }
+
 // Retry-loop defaults for RunTx (see TxOptions.MaxAttempts and
 // TxOptions.RetryBackoff).
 const (
@@ -554,7 +580,9 @@ func (db *DB) Close() error {
 	// serializable reads up to the shutdown point, §7.2) and detach.
 	db.walMu.Lock()
 	if db.walLog != nil && db.mvcc.ActiveCount() == 0 {
-		db.walLog.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), SafeSnapshot: true})
+		seq := db.mvcc.CurrentSeq()
+		db.walLog.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+		db.noteMarker(seq)
 	}
 	db.walLog = nil
 	db.walMu.Unlock()

@@ -40,8 +40,14 @@ func main() {
 	}
 
 	// Wait for the standby to apply everything (5 commits + markers).
-	replica.WaitApplied(walLog.Len())
-	fmt.Println("replica applied", replica.AppliedRecords(), "WAL records")
+	if err := replica.WaitApplied(walLog.Len()); err != nil {
+		log.Fatal(err)
+	}
+	applied, err := replica.AppliedRecords()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replica applied", applied, "WAL records")
 
 	// A serializable read-only transaction on the standby: allowed
 	// because the stream position is a safe snapshot.

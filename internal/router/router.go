@@ -1,0 +1,411 @@
+// Package router implements lag-aware read routing over a replication
+// fleet: one primary plus any number of safe-snapshot replicas
+// (pgssi.Replica behind a replica-mode pgssid, or in process).
+//
+// The router sends read-only traffic to replicas whose safe-snapshot
+// position is within a staleness bound of the primary's current commit
+// sequence, round-robining among the eligible ones, and everything else
+// (writes, and reads when every replica is stale or down) to the
+// primary. Serializable read-only transactions routed to a replica are
+// begun deferrable — they land exactly on a safe snapshot (§4.2), so
+// write skew stays impossible on replica reads without any SSI
+// tracking there. A begin the replica refuses (halted, shutting down,
+// raced past the lag gate) falls back to the primary rather than
+// failing the caller.
+package router
+
+import (
+	"sync"
+	"time"
+
+	"pgssi"
+)
+
+// Backend is the handle-based transactional surface a fleet member
+// serves: the method set shared by pgssi.Session, pgssi.Replica
+// sessions, and wire.Client, and the subset internal/workload's
+// open-loop driver needs. Router sessions satisfy it too, so a router
+// drops into any harness a single session fits.
+type Backend interface {
+	Begin(level pgssi.IsolationLevel, readOnly, deferrable bool) (pgssi.Handle, pgssi.Status)
+	Get(h pgssi.Handle, table, key string) ([]byte, pgssi.Status)
+	Put(h pgssi.Handle, table, key string, value []byte) pgssi.Status
+	Commit(h pgssi.Handle) pgssi.Status
+	Rollback(h pgssi.Handle) pgssi.Status
+}
+
+// StatusFunc reports a member's replication position: the applied and
+// safe-snapshot commit sequence numbers, and whether the member is
+// serviceable at all (a halted or unreachable member reports ok=false
+// and receives no traffic). wire.Client.ReplicaStatus adapts directly:
+//
+//	func() (uint64, uint64, bool) { a, s, st := c.ReplicaStatus(); return a, s, st.OK() }
+type StatusFunc func() (applied, safe uint64, ok bool)
+
+// Member is one routable fleet member.
+type Member struct {
+	// Name labels the member in stats and diagnostics.
+	Name string
+	// Backend serves the member's transactions.
+	Backend Backend
+	// Status polls the member's replication position. For the primary
+	// it reports the current commit sequence (the lag reference point).
+	Status StatusFunc
+}
+
+// Config configures a Router.
+type Config struct {
+	// MaxLag is the staleness bound: a replica is eligible for reads
+	// only while primarySeq - safeSeq <= MaxLag. 0 demands replicas
+	// exactly at the primary's position.
+	MaxLag uint64
+	// PollInterval is the status-poll cadence. 0 defaults to 5ms.
+	PollInterval time.Duration
+	// WaitSafe bounds how long a read-only begin waits for some replica
+	// to become eligible before falling back to the primary — the
+	// DEFERRABLE-style "wait for a safe snapshot, then read cheaply"
+	// trade. 0 falls back immediately.
+	WaitSafe time.Duration
+}
+
+// Stats counts routing decisions.
+type Stats struct {
+	// ReplicaBegins is the number of begins served by a replica.
+	ReplicaBegins uint64
+	// PrimaryBegins is the number served by the primary (writes plus
+	// fallbacks).
+	PrimaryBegins uint64
+	// Fallbacks is how many read-only begins wanted a replica but fell
+	// back: none eligible within WaitSafe, or the chosen replica
+	// refused the begin.
+	Fallbacks uint64
+}
+
+// pos is a polled member position.
+type pos struct {
+	applied, safe uint64
+	ok            bool
+}
+
+// Router routes transactions across one primary and N replicas.
+type Router struct {
+	cfg      Config
+	primary  Member
+	replicas []Member
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	primarySeq uint64
+	primaryOK  bool
+	positions  []pos
+	rr         uint64
+	stats      Stats
+	stopped    bool
+
+	stopCh chan struct{}
+	done   chan struct{}
+}
+
+// New starts a router over the fleet. The primary's StatusFunc supplies
+// the lag reference; replicas without one are never eligible. Close
+// stops the poller.
+func New(primary Member, replicas []Member, cfg Config) *Router {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Millisecond
+	}
+	r := &Router{
+		cfg:       cfg,
+		primary:   primary,
+		replicas:  replicas,
+		positions: make([]pos, len(replicas)),
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.pollOnce()
+	go r.poll()
+	return r
+}
+
+// Close stops the status poller. Member backends are not closed — the
+// router does not own them.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	close(r.stopCh)
+	<-r.done
+}
+
+// poll refreshes member positions until Close.
+func (r *Router) poll() {
+	defer close(r.done)
+	t := time.NewTicker(r.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-t.C:
+			r.pollOnce()
+		}
+	}
+}
+
+// pollOnce polls every member once. Status calls run outside the lock —
+// they may be network round trips.
+func (r *Router) pollOnce() {
+	var pseq uint64
+	pok := false
+	if r.primary.Status != nil {
+		_, pseq, pok = r.primary.Status()
+	}
+	fresh := make([]pos, len(r.replicas))
+	for i, m := range r.replicas {
+		if m.Status == nil {
+			continue
+		}
+		a, s, ok := m.Status()
+		fresh[i] = pos{applied: a, safe: s, ok: ok}
+	}
+	r.mu.Lock()
+	r.primarySeq, r.primaryOK = pseq, pok
+	copy(r.positions, fresh)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// eligibleLocked returns the index of the next eligible replica
+// (round-robin), or -1. Caller holds r.mu.
+func (r *Router) eligibleLocked() int {
+	n := len(r.replicas)
+	if n == 0 || !r.primaryOK {
+		// Without a primary position there is no lag reference; refuse
+		// to guess and let reads fall back to the primary.
+		return -1
+	}
+	for off := 0; off < n; off++ {
+		i := int((r.rr + uint64(off)) % uint64(n))
+		p := r.positions[i]
+		if !p.ok {
+			continue
+		}
+		if p.safe == 0 && r.primarySeq > 0 {
+			// The replica has never seen a safe-snapshot marker (e.g. its
+			// feed is broken): a serializable begin there would block until
+			// one arrives, so it is not eligible no matter the bound.
+			continue
+		}
+		lag := uint64(0)
+		if r.primarySeq > p.safe {
+			lag = r.primarySeq - p.safe
+		}
+		if lag <= r.cfg.MaxLag {
+			r.rr = uint64(i) + 1
+			return i
+		}
+	}
+	return -1
+}
+
+// pickReplica selects an eligible replica for a read-only transaction,
+// waiting up to WaitSafe for one to appear. It returns the replica's
+// index, or -1 when the caller should use the primary.
+func (r *Router) pickReplica() int {
+	if len(r.replicas) == 0 {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	deadline := time.Now().Add(r.cfg.WaitSafe)
+	for {
+		if r.stopped {
+			return -1
+		}
+		if i := r.eligibleLocked(); i >= 0 {
+			return i
+		}
+		if r.cfg.WaitSafe <= 0 || time.Now().After(deadline) {
+			return -1
+		}
+		// The poller broadcasts every PollInterval, so this wakes at
+		// poll granularity and rechecks the deadline.
+		r.cond.Wait()
+	}
+}
+
+// Pick chooses the member for one transaction and counts the decision:
+// the index of an eligible replica for read-only work (waiting up to
+// WaitSafe for one), or -1 meaning the primary. It is the low-level
+// API for callers that hold their own per-member connections (cmd/
+// pgload's per-slot pools, where a transaction's handles must stay on
+// the connection that began it); everyone else should use NewSession.
+func (r *Router) Pick(readOnly bool) int {
+	if readOnly {
+		if i := r.pickReplica(); i >= 0 {
+			r.count(func(st *Stats) { st.ReplicaBegins++ })
+			return i
+		}
+		r.count(func(st *Stats) { st.Fallbacks++; st.PrimaryBegins++ })
+		return -1
+	}
+	r.count(func(st *Stats) { st.PrimaryBegins++ })
+	return -1
+}
+
+// PrimaryStatus adapts an in-process primary: its current commit
+// sequence is both positions (a primary is trivially caught up with
+// itself), matching what a pgssid primary reports over OpReplicaStatus.
+func PrimaryStatus(db *pgssi.DB) StatusFunc {
+	return func() (uint64, uint64, bool) {
+		s := db.CurrentSeq()
+		return s, s, true
+	}
+}
+
+// ReplicaStatus adapts an in-process replica. A halted replica reports
+// ok=false: its positions are frozen at the divergence point and must
+// not attract traffic.
+func ReplicaStatus(rep *pgssi.Replica) StatusFunc {
+	return func() (uint64, uint64, bool) {
+		if rep.Err() != nil {
+			return 0, 0, false
+		}
+		return rep.AppliedSeq(), rep.SafeSeq(), true
+	}
+}
+
+// Stats returns a snapshot of the routing counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// NewSession returns a routing session. Each Begin picks a member; the
+// returned handles are router-local and remapped per operation, so one
+// session can hold transactions on several members at once. Safe for
+// concurrent use iff the member backends are.
+func (r *Router) NewSession() *Session {
+	return &Session{r: r, txs: make(map[pgssi.Handle]binding)}
+}
+
+// binding ties a router-local handle to the member transaction behind
+// it.
+type binding struct {
+	b Backend
+	h pgssi.Handle
+}
+
+// Session is a Backend that routes each transaction to a fleet member.
+type Session struct {
+	r *Router
+
+	mu   sync.Mutex
+	next pgssi.Handle
+	txs  map[pgssi.Handle]binding
+}
+
+// Begin routes a transaction: writes to the primary; reads to an
+// eligible replica (deferrable there, so serializable reads begin on a
+// safe snapshot) with primary fallback.
+func (s *Session) Begin(level pgssi.IsolationLevel, readOnly, deferrable bool) (pgssi.Handle, pgssi.Status) {
+	if readOnly {
+		if i := s.r.pickReplica(); i >= 0 {
+			m := &s.r.replicas[i]
+			// Always deferrable on the replica leg: the lag gate said
+			// the replica is close; waiting for its next marker is what
+			// guarantees the snapshot is safe, not merely recent.
+			h, st := m.Backend.Begin(level, true, true)
+			if st.OK() {
+				s.r.count(func(st *Stats) { st.ReplicaBegins++ })
+				return s.register(m.Backend, h), st
+			}
+			// Refused (halted, shutting down, raced): fall through.
+		}
+		s.r.count(func(st *Stats) { st.Fallbacks++ })
+	}
+	h, st := s.r.primary.Backend.Begin(level, readOnly, deferrable)
+	if !st.OK() {
+		return 0, st
+	}
+	s.r.count(func(st *Stats) { st.PrimaryBegins++ })
+	return s.register(s.r.primary.Backend, h), st
+}
+
+// count mutates the stats under the router lock.
+func (r *Router) count(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// register assigns a router-local handle.
+func (s *Session) register(b Backend, h pgssi.Handle) pgssi.Handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	local := s.next
+	s.txs[local] = binding{b: b, h: h}
+	return local
+}
+
+// lookup resolves a router-local handle.
+func (s *Session) lookup(h pgssi.Handle) (binding, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bd, ok := s.txs[h]
+	return bd, ok
+}
+
+// release forgets a finished transaction.
+func (s *Session) release(h pgssi.Handle) {
+	s.mu.Lock()
+	delete(s.txs, h)
+	s.mu.Unlock()
+}
+
+// Get reads key through the member holding h's transaction.
+func (s *Session) Get(h pgssi.Handle, table, key string) ([]byte, pgssi.Status) {
+	bd, ok := s.lookup(h)
+	if !ok {
+		return nil, pgssi.StatusInvalidHandle
+	}
+	return bd.b.Get(bd.h, table, key)
+}
+
+// Put writes key through the member holding h's transaction.
+func (s *Session) Put(h pgssi.Handle, table, key string, value []byte) pgssi.Status {
+	bd, ok := s.lookup(h)
+	if !ok {
+		return pgssi.StatusInvalidHandle
+	}
+	return bd.b.Put(bd.h, table, key, value)
+}
+
+// Commit finishes h's transaction on its member.
+func (s *Session) Commit(h pgssi.Handle) pgssi.Status {
+	bd, ok := s.lookup(h)
+	if !ok {
+		return pgssi.StatusInvalidHandle
+	}
+	st := bd.b.Commit(bd.h)
+	s.release(h)
+	return st
+}
+
+// Rollback aborts h's transaction on its member.
+func (s *Session) Rollback(h pgssi.Handle) pgssi.Status {
+	bd, ok := s.lookup(h)
+	if !ok {
+		return pgssi.StatusInvalidHandle
+	}
+	st := bd.b.Rollback(bd.h)
+	s.release(h)
+	return st
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"pgssi"
+	"pgssi/internal/wal"
+	"pgssi/internal/wire"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplicationOverTCP streams a primary's WAL to a replica through a
+// real server connection and serves serializable reads from it.
+func TestReplicationOverTCP(t *testing.T) {
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	if err := db.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	db.AttachWAL(wal.NewLog())
+
+	srv, _ := startServer(t, db, Config{})
+	defer srv.Shutdown()
+
+	for i := 0; i < 3; i++ {
+		err := db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+			return tx.Insert("kv", "k"+string(rune('a'+i)), []byte{byte(i)})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src := &wire.ReplicaSource{Addr: srv.addr, DialTimeout: 5 * time.Second}
+	rep, err := pgssi.NewReplica(src, []string{"kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	// 3 commits + 3 safe markers (no concurrency on the master).
+	if err := rep.WaitApplied(6); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true, WaitSafe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	if !tx.OnSafeSnapshot() {
+		t.Fatal("replica serializable read not on a safe snapshot")
+	}
+	n := 0
+	if err := tx.Scan("kv", "", "", func(string, []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("replica saw %d rows, want 3", n)
+	}
+	if seq := rep.AppliedSeq(); seq == 0 || seq != rep.SafeSeq() {
+		t.Fatalf("positions: applied seq %d, safe seq %d", seq, rep.SafeSeq())
+	}
+}
+
+// TestReplicaServerServesReadOnly fronts a replica with its own server
+// and checks the read-only session contract over the wire.
+func TestReplicaServerServesReadOnly(t *testing.T) {
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	if err := db.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	db.AttachWAL(wal.NewLog())
+	srv, _ := startServer(t, db, Config{})
+	defer srv.Shutdown()
+
+	if err := db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+		return tx.Insert("kv", "k", []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := pgssi.NewReplica(&wire.ReplicaSource{Addr: srv.addr, DialTimeout: 5 * time.Second}, []string{"kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if err := rep.WaitApplied(2); err != nil {
+		t.Fatal(err)
+	}
+
+	rsrv := NewReplicaServer(rep, Config{Logf: t.Logf})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rsrv.Serve(l)
+	defer rsrv.Shutdown()
+
+	c, err := wire.Dial(l.Addr().String(), wire.DialOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Writes and DDL are refused.
+	if _, st := c.Begin(pgssi.Serializable, false, false); st != pgssi.StatusReadOnlyTx {
+		t.Fatalf("read-write begin on replica: %v, want read-only refusal", st)
+	}
+	if st := c.CreateTable("other"); st != pgssi.StatusReadOnlyTx {
+		t.Fatalf("ddl on replica: %v, want read-only refusal", st)
+	}
+
+	// A deferrable serializable read-only txn serves from the safe
+	// snapshot.
+	h, st := c.Begin(pgssi.Serializable, true, true)
+	if !st.OK() {
+		t.Fatalf("serializable read-only begin: %v", st)
+	}
+	v, st := c.Get(h, "kv", "k")
+	if !st.OK() || string(v) != "v" {
+		t.Fatalf("replica get = %q, %v", v, st)
+	}
+	if st := c.Put(h, "kv", "k", []byte("w")); st != pgssi.StatusReadOnlyTx {
+		t.Fatalf("put in read-only txn: %v", st)
+	}
+	if st := c.Commit(h); !st.OK() {
+		t.Fatalf("commit: %v", st)
+	}
+
+	// Status reports positions; primary reports its own seq for both.
+	applied, safe, st := c.ReplicaStatus()
+	if !st.OK() || applied == 0 || applied != safe {
+		t.Fatalf("replica status = %d/%d, %v", applied, safe, st)
+	}
+}
+
+// TestReplicateWithoutWAL: a primary with no WAL refuses replication
+// with a typed status, and ReplicaSource surfaces it as a closed
+// subscription.
+func TestReplicateWithoutWAL(t *testing.T) {
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	srv, _ := startServer(t, db, Config{})
+	defer srv.Shutdown()
+
+	conn, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := wire.AppendRequest(nil, &wire.Request{Op: wire.OpReplicate})
+	if err := wire.WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	body, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != pgssi.StatusNoReplication {
+		t.Fatalf("replicate on WAL-less primary: %v, want StatusNoReplication", resp.Status)
+	}
+
+	ch, cancel := (&wire.ReplicaSource{Addr: srv.addr, DialTimeout: 5 * time.Second}).Subscribe()
+	defer cancel()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("got a record from a WAL-less primary")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription to WAL-less primary did not close")
+	}
+}
+
+// TestReplicaCatchesUpAcrossMasterRestart: a durable master is stopped
+// and reopened on the same address while a replica is attached. The
+// replica must reconnect, resume from its applied position, and apply
+// the new records exactly once.
+func TestReplicaCatchesUpAcrossMasterRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, err := pgssi.OpenDir(dir, pgssi.Config{FsyncMode: pgssi.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := startServer(t, db, Config{})
+
+	put := func(d *pgssi.DB, k, v string) {
+		t.Helper()
+		if err := d.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+			return tx.Put("kv", k, []byte(v))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(db, "a", "1")
+	put(db, "b", "2")
+
+	rep, err := pgssi.NewReplica(&wire.ReplicaSource{Addr: srv.addr, DialTimeout: 5 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	// Durable stream: schema record + 2 commits + 2 markers.
+	if err := rep.WaitApplied(5); err != nil {
+		t.Fatal(err)
+	}
+	applied1, err := rep.AppliedRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq1 := rep.AppliedSeq()
+
+	// Restart the master on the same address.
+	srv.Shutdown()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := pgssi.OpenDir(dir, pgssi.Config{FsyncMode: pgssi.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	l, err := net.Listen("tcp", srv.addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", srv.addr, err)
+	}
+	srv2 := New(db2, Config{Logf: t.Logf})
+	go srv2.Serve(l)
+	defer srv2.Shutdown()
+
+	put(db2, "c", "3")
+
+	waitFor(t, 10*time.Second, func() bool {
+		if err := rep.Err(); err != nil {
+			t.Fatalf("replica halted during catch-up: %v", err)
+		}
+		return rep.AppliedSeq() > seq1
+	}, "replica to catch up past the restart")
+
+	tx, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true, WaitSafe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		v, err := tx.Get("kv", k)
+		if err != nil || string(v) != want {
+			t.Fatalf("after catch-up, %s = %q (%v), want %q", k, v, err, want)
+		}
+	}
+	// Exactly once: the reconnect resumed after seq1, so the total
+	// applied count grows only by the new records (1 commit + markers),
+	// never re-applying the prefix.
+	applied2, err := rep.AppliedRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := applied2 - applied1
+	if grown <= 0 || grown > 4 {
+		t.Fatalf("applied count grew by %d across restart (was %d, now %d): prefix re-applied?", grown, applied1, applied2)
+	}
+}
+
+// TestReplicaHaltReportedOverWire: a replica that halts on an apply
+// error reports StatusReplicaHalted from both Begin and ReplicaStatus —
+// it must never quietly serve stale snapshots.
+func TestReplicaHaltReportedOverWire(t *testing.T) {
+	log := wal.NewLog()
+	rep, err := pgssi.NewReplica(log, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	// A commit against a table the replica does not have: apply fails.
+	log.Append(wal.Record{Seq: 1, Xid: 1, Ops: []wal.Op{{Table: "nope", Key: "k", Value: []byte("v")}}})
+	waitFor(t, 5*time.Second, func() bool { return rep.Err() != nil }, "replica halt")
+	if !errors.Is(rep.Err(), pgssi.ErrReplicaHalted) {
+		t.Fatalf("halt error = %v", rep.Err())
+	}
+
+	rsrv := NewReplicaServer(rep, Config{Logf: t.Logf})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rsrv.Serve(l)
+	defer rsrv.Shutdown()
+	c, err := wire.Dial(l.Addr().String(), wire.DialOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, st := c.ReplicaStatus(); st != pgssi.StatusReplicaHalted {
+		t.Fatalf("status on halted replica: %v, want StatusReplicaHalted", st)
+	}
+	if _, st := c.Begin(pgssi.Serializable, true, false); st != pgssi.StatusReplicaHalted {
+		t.Fatalf("begin on halted replica: %v, want StatusReplicaHalted", st)
+	}
+}

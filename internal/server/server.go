@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"pgssi"
+	"pgssi/internal/mvcc"
+	"pgssi/internal/wal"
 	"pgssi/internal/wire"
 )
 
@@ -65,9 +67,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves a pgssi.DB over TCP.
+// Server serves a pgssi.DB (primary mode) or a pgssi.Replica (replica
+// mode) over TCP. Replica mode serves the same protocol restricted to
+// read-only traffic: Begin requires the read-only flag, serializable
+// begins run on safe snapshots (deferrable = wait for one), DDL is
+// refused, and OpReplicate reports StatusNoReplication (cascading
+// replication is not supported).
 type Server struct {
-	db  *pgssi.DB
+	db  *pgssi.DB      // nil in replica mode
+	rep *pgssi.Replica // nil in primary mode
 	cfg Config
 
 	mu       sync.Mutex
@@ -96,6 +104,29 @@ func New(db *pgssi.DB, cfg Config) *Server {
 		drainStarted: make(chan struct{}),
 		done:         make(chan struct{}),
 	}
+}
+
+// NewReplicaServer returns a server over a replica: the read tier's
+// front-end. Sessions come from Replica.NewSession, and OpReplicaStatus
+// reports the replica's applied/safe positions (with
+// StatusReplicaHalted once the apply loop has halted on an error — a
+// router must stop sending traffic here, not serve stale data).
+func NewReplicaServer(rep *pgssi.Replica, cfg Config) *Server {
+	return &Server{
+		rep:          rep,
+		cfg:          cfg.withDefaults(),
+		conns:        make(map[*conn]struct{}),
+		drainStarted: make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+}
+
+// newSession opens a session on whichever store the server fronts.
+func (s *Server) newSession() *pgssi.Session {
+	if s.rep != nil {
+		return s.rep.NewSession()
+	}
+	return s.db.NewSession()
 }
 
 // ListenAndServe listens on addr and serves until Shutdown.
@@ -143,7 +174,7 @@ func (s *Server) Serve(l net.Listener) error {
 			nc.Close()
 			continue
 		}
-		c := &conn{Conn: nc, sess: s.db.NewSession()}
+		c := &conn{Conn: nc, sess: s.newSession()}
 		s.mu.Lock()
 		if s.draining.Load() {
 			// Raced a concurrent Shutdown's conn sweep: don't serve.
@@ -192,6 +223,12 @@ func (s *Server) serveConn(c *conn) {
 		}
 		frame = body[:0]
 		req, derr := wire.DecodeRequest(body)
+		if derr == nil && req.Op == wire.OpReplicate {
+			// Replicate hijacks the connection: one response frame, then
+			// a one-way stream of record frames until either side closes.
+			s.serveReplication(c, req.AfterSeq, out)
+			return
+		}
 		var resp wire.Response
 		fatal := false
 		if derr != nil {
@@ -217,6 +254,78 @@ func (s *Server) serveConn(c *conn) {
 		// transaction in flight; one that does keeps being served so it
 		// can finish (commit or roll back), up to the drain timeout.
 		if s.draining.Load() && c.sess.Open() == 0 {
+			return
+		}
+	}
+}
+
+// serveReplication turns c into a WAL stream: it subscribes to the
+// primary's log from the requested position and forwards each record as
+// one frame carrying the record body (the WAL's own body encoding —
+// docs/wal.md — inside the wire framing). The stream ends when the
+// subscription is dropped (the replica fell behind the fan-out buffer),
+// the log closes, the write fails, or a drain force-closes the
+// connection; the replica then reconnects from its applied position.
+func (s *Server) serveReplication(c *conn, afterSeq uint64, out []byte) {
+	var stream wal.Stream
+	if s.db != nil {
+		stream = s.db.WALStream()
+	}
+	respond := func(resp wire.Response) bool {
+		if s.cfg.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		out = wire.AppendResponse(out[:0], &resp)
+		return wire.WriteFrame(c.Conn, out) == nil
+	}
+	if stream == nil {
+		respond(wire.Response{Status: pgssi.StatusNoReplication})
+		return
+	}
+	if !respond(wire.Response{Status: pgssi.StatusOK}) {
+		return
+	}
+	// The request loop is done with this connection: no further reads,
+	// so the idle deadline set before OpReplicate must not fire mid-
+	// stream.
+	c.SetReadDeadline(time.Time{})
+
+	// The replica never sends another byte, so a completed read — EOF,
+	// a stray write, or the drain sweep force-closing the socket — means
+	// this stream is over. Without this sentinel the loop below would
+	// park on an idle WAL channel forever and Shutdown could never
+	// finish its wg.Wait.
+	gone := make(chan struct{})
+	go func() {
+		var b [1]byte
+		c.Conn.Read(b[:])
+		close(gone)
+	}()
+
+	ch, cancel := stream.SubscribeFrom(mvcc.SeqNo(afterSeq))
+	defer cancel()
+	for {
+		var rec wal.Record
+		var ok bool
+		select {
+		case rec, ok = <-ch:
+			if !ok {
+				return
+			}
+		case <-gone:
+			return
+		}
+		body, err := wal.EncodeRecordBody(rec)
+		if err != nil {
+			// Unencodable records cannot exist in a log that accepted
+			// them; treat as a poisoned stream.
+			s.cfg.Logf("server: replication encode: %v", err)
+			return
+		}
+		if s.cfg.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if err := wire.WriteFrame(c.Conn, body); err != nil {
 			return
 		}
 	}
@@ -263,6 +372,22 @@ func (s *Server) dispatch(sess *pgssi.Session, req *wire.Request) wire.Response 
 		return wire.Response{Status: sess.CreateTable(req.Table)}
 	case wire.OpPing:
 		return wire.Response{Status: pgssi.StatusOK}
+	case wire.OpReplicaStatus:
+		if s.rep != nil {
+			resp := wire.Response{
+				Status:     pgssi.StatusOK,
+				HasSeqs:    true,
+				AppliedSeq: s.rep.AppliedSeq(),
+				SafeSeq:    s.rep.SafeSeq(),
+			}
+			if s.rep.Err() != nil {
+				resp.Status = pgssi.StatusReplicaHalted
+			}
+			return resp
+		}
+		// A primary is trivially caught up with itself.
+		seq := s.db.CurrentSeq()
+		return wire.Response{Status: pgssi.StatusOK, HasSeqs: true, AppliedSeq: seq, SafeSeq: seq}
 	default:
 		return wire.Response{Status: pgssi.StatusInvalidRequest}
 	}

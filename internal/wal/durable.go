@@ -679,15 +679,26 @@ func (l *DurableLog) createSegment(index uint64) (File, error) {
 // detaches and closes the channel; a subscriber that falls more than the
 // fan-out buffer behind is disconnected (see Log.Append — same policy).
 func (l *DurableLog) Subscribe() (<-chan Record, func()) {
+	return l.SubscribeFrom(0)
+}
+
+// SubscribeFrom is Subscribe resuming from a commit-sequence position:
+// only records passing the Stream.SubscribeFrom filter are delivered,
+// both from the disk/in-memory backlog and from the live stream.
+func (l *DurableLog) SubscribeFrom(after mvcc.SeqNo) (<-chan Record, func()) {
 	ch := make(chan Record, subscriberBuffer)
 	l.mu.Lock()
 	segs := append([]segMeta(nil), l.segs...)
 	mem := make([]Record, 0, len(l.inflight)+len(l.pending))
 	for _, q := range l.inflight {
-		mem = append(mem, q.rec)
+		if deliverFrom(q.rec, after) {
+			mem = append(mem, q.rec)
+		}
 	}
 	for _, q := range l.pending {
-		mem = append(mem, q.rec)
+		if deliverFrom(q.rec, after) {
+			mem = append(mem, q.rec)
+		}
 	}
 	if l.closed {
 		close(ch)
@@ -705,7 +716,9 @@ func (l *DurableLog) Subscribe() (<-chan Record, func()) {
 				continue
 			}
 			err := readSegmentRecords(l.fs, s.path, s.index, s.size, func(r Record) error {
-				backlog = append(backlog, r)
+				if deliverFrom(r, after) {
+					backlog = append(backlog, r)
+				}
 				return nil
 			})
 			if err != nil {
@@ -716,7 +729,7 @@ func (l *DurableLog) Subscribe() (<-chan Record, func()) {
 			}
 		}
 		backlog = append(backlog, mem...)
-		forwardRecords(backlog, ch, out, done)
+		forwardRecords(backlog, ch, out, done, after)
 	}()
 
 	cancel := func() {

@@ -144,6 +144,24 @@ func encodeFrame(rec Record) []byte {
 	return frame
 }
 
+// EncodeRecordBody encodes rec as a bare frame body (kind | seq | xid |
+// payload, no length/version/CRC prefix) for transports that supply
+// their own framing — the wire protocol's replication stream carries
+// exactly these bodies inside wire frames, so both layers share one
+// record codec. Oversize records are rejected with ErrRecordTooLarge.
+func EncodeRecordBody(rec Record) ([]byte, error) {
+	if err := ValidateRecord(rec); err != nil {
+		return nil, err
+	}
+	return encodeFrame(rec)[frameHeaderSize:], nil
+}
+
+// DecodeRecordBody decodes a frame body produced by EncodeRecordBody
+// (or extracted from an on-disk frame). The Record does not alias body.
+func DecodeRecordBody(body []byte) (Record, error) {
+	return decodeRecord(body)
+}
+
 // patchSeq stamps the commit sequence number into an already-encoded
 // frame and refreshes its CRC. The engine encodes a commit's record
 // before the commit-sequence assignment and patches the CSN in at its

@@ -59,12 +59,32 @@ type Record struct {
 	CreateTable string
 }
 
-// Stream is the subscription surface shared by the in-memory Log and the
-// DurableLog: Subscribe returns a channel that first replays every
-// existing record and then streams new ones, plus a cancel function that
-// detaches the subscription and closes the channel.
+// Stream is the subscription surface shared by the in-memory Log, the
+// DurableLog, and network sources (internal/wire's replication client):
+// Subscribe returns a channel that first replays every existing record
+// and then streams new ones, plus a cancel function that detaches the
+// subscription and closes the channel. SubscribeFrom resumes a
+// subscription from a commit-sequence position instead of the start:
+// it delivers commit records with Seq > after and marker/schema records
+// with Seq >= after. The asymmetry follows from how positions are
+// stamped — commit CSNs are unique, so a commit the subscriber already
+// applied is never redelivered, while markers and schema records carry
+// the sequence number of the last commit they follow and so may share
+// it; a marker at the resume boundary is redelivered rather than
+// dropped (losing it could hide a safe point forever; reapplying it is
+// idempotent). SubscribeFrom(0) is equivalent to Subscribe.
 type Stream interface {
 	Subscribe() (<-chan Record, func())
+	SubscribeFrom(after mvcc.SeqNo) (<-chan Record, func())
+}
+
+// deliverFrom reports whether rec belongs in a subscription resuming
+// after commit-sequence position `after` (see Stream.SubscribeFrom).
+func deliverFrom(rec Record, after mvcc.SeqNo) bool {
+	if rec.SafeSnapshot || rec.CreateTable != "" {
+		return rec.Seq >= after
+	}
+	return rec.Seq > after
 }
 
 // subscriberBuffer is the per-subscriber fan-out buffer. A subscriber
@@ -125,16 +145,27 @@ func (l *Log) fanoutLocked(r Record) {
 // subscription and closes the channel. The channel is also closed if the
 // subscriber falls more than the fan-out buffer behind (see Append).
 func (l *Log) Subscribe() (<-chan Record, func()) {
+	return l.SubscribeFrom(0)
+}
+
+// SubscribeFrom is Subscribe resuming from a commit-sequence position:
+// only records passing the Stream.SubscribeFrom filter are delivered,
+// both from the backlog and from the live stream.
+func (l *Log) SubscribeFrom(after mvcc.SeqNo) (<-chan Record, func()) {
 	ch := make(chan Record, subscriberBuffer)
 	l.mu.Lock()
-	backlog := make([]Record, len(l.records))
-	copy(backlog, l.records)
+	var backlog []Record
+	for _, r := range l.records {
+		if deliverFrom(r, after) {
+			backlog = append(backlog, r)
+		}
+	}
 	l.subs = append(l.subs, ch)
 	l.mu.Unlock()
 
 	out := make(chan Record, 64)
 	done := make(chan struct{})
-	go forwardRecords(backlog, ch, out, done)
+	go forwardRecords(backlog, ch, out, done, after)
 
 	cancel := func() {
 		l.mu.Lock()
@@ -152,8 +183,10 @@ func (l *Log) Subscribe() (<-chan Record, func()) {
 
 // forwardRecords pumps a backlog and then a live channel into out,
 // stopping when done closes or the live channel is closed (producer gone
-// or subscriber disconnected for falling behind).
-func forwardRecords(backlog []Record, live <-chan Record, out chan<- Record, done <-chan struct{}) {
+// or subscriber disconnected for falling behind). Live records that do
+// not pass the resume filter (a master behind the subscriber's position)
+// are dropped rather than delivered out of order.
+func forwardRecords(backlog []Record, live <-chan Record, out chan<- Record, done <-chan struct{}, after mvcc.SeqNo) {
 	defer close(out)
 	for _, r := range backlog {
 		select {
@@ -167,6 +200,9 @@ func forwardRecords(backlog []Record, live <-chan Record, out chan<- Record, don
 		case r, ok := <-live:
 			if !ok {
 				return
+			}
+			if !deliverFrom(r, after) {
+				continue
 			}
 			select {
 			case out <- r:

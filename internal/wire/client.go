@@ -186,3 +186,12 @@ func (c *Client) CreateTable(name string) pgssi.Status {
 func (c *Client) Ping() pgssi.Status {
 	return c.roundTrip(&Request{Op: OpPing}).Status
 }
+
+// ReplicaStatus reports the server's replication position: the applied
+// and safe-snapshot commit sequence numbers. A primary reports its
+// current commit sequence for both (it is trivially "caught up" with
+// itself), so lag-aware routers can poll every fleet member uniformly.
+func (c *Client) ReplicaStatus() (applied, safe uint64, st pgssi.Status) {
+	resp := c.roundTrip(&Request{Op: OpReplicaStatus})
+	return resp.AppliedSeq, resp.SafeSeq, resp.Status
+}

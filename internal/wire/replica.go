@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"pgssi"
+	"pgssi/internal/mvcc"
+	"pgssi/internal/wal"
+)
+
+// ReplicaSource is a network-backed wal.Stream: each subscription dials
+// a pgssid master, issues OpReplicate with the resume position, and
+// decodes the resulting stream of record frames. It is the source a
+// replica-mode pgssid (or an in-process pgssi.NewReplica) attaches to.
+//
+// Failure handling is deliberately dumb: any dial, protocol, or decode
+// failure just closes the subscription channel. The consumer
+// (pgssi.Replica) treats a closed channel as "re-subscribe from the
+// applied position with backoff", so reconnect-and-catch-up logic lives
+// in exactly one place and a flaky network looks the same as a slow
+// subscriber being dropped by the fan-out.
+type ReplicaSource struct {
+	// Addr is the master's TCP address.
+	Addr string
+	// DialTimeout bounds connection establishment and the OpReplicate
+	// handshake; zero means no deadline. No read deadline applies to
+	// the stream itself — an idle stream is a quiet master, not a
+	// failure.
+	DialTimeout time.Duration
+}
+
+// Subscribe implements wal.Stream (full replay).
+func (s *ReplicaSource) Subscribe() (<-chan wal.Record, func()) {
+	return s.SubscribeFrom(0)
+}
+
+// SubscribeFrom implements wal.Stream: it streams records after the
+// given commit sequence (per the Stream.SubscribeFrom filter contract,
+// which the master's log applies server-side). The cancel function
+// closes the connection, which ends the channel.
+func (s *ReplicaSource) SubscribeFrom(after mvcc.SeqNo) (<-chan wal.Record, func()) {
+	out := make(chan wal.Record, 64)
+	var d net.Dialer
+	d.Timeout = s.DialTimeout
+	conn, err := d.Dial("tcp", s.Addr)
+	if err != nil {
+		close(out)
+		return out, func() {}
+	}
+
+	// Handshake: one OpReplicate request, one OK response, then the
+	// connection carries only record frames until either side closes.
+	if s.DialTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.DialTimeout))
+	}
+	req := AppendRequest(nil, &Request{Op: OpReplicate, AfterSeq: uint64(after)})
+	if err := WriteFrame(conn, req); err != nil {
+		conn.Close()
+		close(out)
+		return out, func() {}
+	}
+	br := bufio.NewReader(conn)
+	body, err := ReadFrame(br, nil)
+	if err != nil {
+		conn.Close()
+		close(out)
+		return out, func() {}
+	}
+	resp, err := DecodeResponse(body)
+	if err != nil || resp.Status != pgssi.StatusOK {
+		conn.Close()
+		close(out)
+		return out, func() {}
+	}
+	conn.SetDeadline(time.Time{})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(out)
+		defer conn.Close()
+		var buf []byte
+		for {
+			body, err := ReadFrame(br, buf)
+			if err != nil {
+				return
+			}
+			rec, err := wal.DecodeRecordBody(body)
+			if err != nil {
+				return
+			}
+			buf = body[:0]
+			select {
+			case out <- rec:
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			close(done)
+			// Unblock a reader parked in ReadFrame.
+			conn.Close()
+		})
+	}
+	return out, cancel
+}

@@ -119,6 +119,8 @@ const (
 	OpRollbackToSavepoint
 	OpCreateTable
 	OpPing
+	OpReplicate
+	OpReplicaStatus
 	opMax
 )
 
@@ -153,6 +155,10 @@ func (o Op) String() string {
 		return "CreateTable"
 	case OpPing:
 		return "Ping"
+	case OpReplicate:
+		return "Replicate"
+	case OpReplicaStatus:
+		return "ReplicaStatus"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -180,6 +186,10 @@ type Request struct {
 	Hi    string // Scan's exclusive hi bound
 	Value []byte
 	Limit uint32 // Scan row cap (0 = unlimited)
+
+	// Replicate: resume the WAL stream after this commit sequence
+	// number (0 = from the start of the log).
+	AfterSeq uint64
 }
 
 // Response is one session-layer response. Status is always meaningful;
@@ -190,6 +200,13 @@ type Response struct {
 	Value  []byte
 	Found  bool // Get: distinguishes empty value from absent row
 	Rows   []pgssi.KV
+
+	// ReplicaStatus: the responder's applied and safe-snapshot commit
+	// sequence numbers (on a primary both report the current commit
+	// sequence). Present iff the seqs flag bit is set.
+	HasSeqs    bool
+	AppliedSeq uint64
+	SafeSeq    uint64
 }
 
 // ---- body encoding helpers -------------------------------------------
@@ -311,7 +328,9 @@ func AppendRequest(buf []byte, req *Request) []byte {
 		e.str(req.Key)
 	case OpCreateTable:
 		e.str(req.Table)
-	case OpPing:
+	case OpPing, OpReplicaStatus:
+	case OpReplicate:
+		e.u64(req.AfterSeq)
 	}
 	return e.b
 }
@@ -353,7 +372,9 @@ func DecodeRequest(body []byte) (Request, error) {
 		req.Key = d.str()
 	case OpCreateTable:
 		req.Table = d.str()
-	case OpPing:
+	case OpPing, OpReplicaStatus:
+	case OpReplicate:
+		req.AfterSeq = d.u64()
 	}
 	if err := d.done(); err != nil {
 		return Request{}, err
@@ -369,6 +390,7 @@ const (
 	respHasValue  = 1 << 1
 	respHasRows   = 1 << 2
 	respFound     = 1 << 3
+	respHasSeqs   = 1 << 4
 )
 
 // AppendResponse encodes resp into buf's body format (no framing).
@@ -388,6 +410,9 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 	if resp.Found {
 		flags |= respFound
 	}
+	if resp.HasSeqs {
+		flags |= respHasSeqs
+	}
 	e.u8(flags)
 	if flags&respHasHandle != 0 {
 		e.u64(uint64(resp.Handle))
@@ -401,6 +426,10 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 			e.str(resp.Rows[i].Key)
 			e.bytes(resp.Rows[i].Value)
 		}
+	}
+	if flags&respHasSeqs != 0 {
+		e.u64(resp.AppliedSeq)
+		e.u64(resp.SafeSeq)
 	}
 	return e.b
 }
@@ -432,6 +461,11 @@ func DecodeResponse(body []byte) (Response, error) {
 				resp.Rows = append(resp.Rows, pgssi.KV{Key: k, Value: v})
 			}
 		}
+	}
+	if flags&respHasSeqs != 0 {
+		resp.HasSeqs = true
+		resp.AppliedSeq = d.u64()
+		resp.SafeSeq = d.u64()
 	}
 	resp.Found = flags&respFound != 0
 	if err := d.done(); err != nil {

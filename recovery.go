@@ -192,7 +192,9 @@ func (db *DB) walFinish(pend *wal.Pending) error {
 		err = pend.Wait()
 	}
 	if db.mvcc.ActiveCount() == 0 {
-		db.durable.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), SafeSnapshot: true})
+		seq := db.mvcc.CurrentSeq()
+		db.durable.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+		db.noteMarker(seq)
 	}
 	return err
 }

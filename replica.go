@@ -2,8 +2,11 @@ package pgssi
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
+	"pgssi/internal/mvcc"
 	"pgssi/internal/wal"
 )
 
@@ -14,21 +17,45 @@ import (
 // design the paper proposes for lifting PostgreSQL 9.1's restriction.
 // Weaker-isolation (snapshot) reads are allowed at any applied position,
 // matching "they can simply run at a weaker isolation level".
+//
+// The record source may be in process (the in-memory wal.Log, a
+// DB.DurableWAL) or remote (internal/wire's ReplicaSource, streaming
+// from a pgssid master over TCP). When the source's channel closes —
+// the subscriber fell behind the fan-out buffer, the master restarted,
+// or the network dropped — the replica re-subscribes from its applied
+// commit-sequence position and catches up; records it already applied
+// are never applied twice (Stream.SubscribeFrom's contract, plus
+// boundary dedup here for the marker/schema records that share a
+// sequence number with the commit they follow).
+//
+// An apply error is fatal to the replica: the apply loop halts, the
+// error is recorded, and every subsequent BeginReadOnly, AppliedRecords,
+// WaitApplied, and session Begin reports it. A replica that cannot
+// apply the stream has diverged from the master; continuing to serve
+// "safe" snapshots from it would be silent corruption.
 type Replica struct {
 	db     *DB
-	cancel func()
+	src    wal.Stream
+	stopCh chan struct{}
+	done   chan struct{}
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	applied  int // records applied
-	safeAt   int // applied position of the last safe-snapshot marker
-	appliedS uint64
-	stopped  bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	applied    int    // records applied
+	safeAt     int    // applied position of the last safe-snapshot marker
+	appliedSeq uint64 // commit sequence of the newest applied record
+	safeSeq    uint64 // commit sequence at the last safe-snapshot marker
+	err        error  // first apply failure; the replica is halted once set
+	stopped    bool
 }
 
 // ErrNotSafePoint is returned by BeginReadOnly(WaitSafe: false) when the
 // replica's applied position is not currently a safe snapshot.
 var ErrNotSafePoint = errors.New("pgssi: replica is not at a safe snapshot point")
+
+// ErrReplicaHalted wraps the first apply failure: the replica has
+// stopped applying the stream and refuses to serve until rebuilt.
+var ErrReplicaHalted = errors.New("pgssi: replica halted on apply error")
 
 // ReplicaTxOptions configure a replica read-only transaction.
 type ReplicaTxOptions struct {
@@ -42,79 +69,182 @@ type ReplicaTxOptions struct {
 }
 
 // NewReplica creates a standby that replays log and mirrors the schema of
-// the given tables. The log may be the in-memory wal.Log or a durable
-// wal.DurableLog (DB.DurableWAL) — a durable stream replays everything
-// on disk first, so a replica attached to a restarted master catches up
-// from the beginning of the log; tables recorded in the stream are
-// created automatically.
+// the given tables. The log may be the in-memory wal.Log, a durable
+// wal.DurableLog (DB.DurableWAL), or a network source (wire's
+// ReplicaSource) — a durable stream replays everything on disk first, so
+// a replica attached to a restarted master catches up from the beginning
+// of the log; tables recorded in the stream are created automatically.
 func NewReplica(log wal.Stream, tables []string) (*Replica, error) {
 	db := Open(Config{})
 	for _, t := range tables {
 		if err := db.CreateTable(t); err != nil {
+			// Close the engine on the error path or its epoch-reclaimer
+			// goroutine (and everything else Open started) leaks.
+			db.Close()
 			return nil, err
 		}
 	}
-	r := &Replica{db: db}
+	r := &Replica{
+		db:     db,
+		src:    log,
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
 	r.cond = sync.NewCond(&r.mu)
-	ch, cancel := log.Subscribe()
-	r.cancel = cancel
-	go r.applyLoop(ch)
+	go r.run()
 	return r, nil
 }
 
-// applyLoop applies records in order. Each transaction record is applied
-// as a local snapshot-isolation transaction, giving replica readers MVCC
-// snapshots for free, just as WAL replay on a PostgreSQL standby
-// maintains MVCC state.
-func (r *Replica) applyLoop(ch <-chan wal.Record) {
-	for rec := range ch {
+// run drives the subscribe / apply / re-subscribe cycle until the
+// replica is closed or halts on an apply error. Each re-subscription
+// resumes from the applied commit-sequence position, so a dropped
+// source (network partition, master restart, fan-out overflow) costs
+// only the records not yet applied.
+func (r *Replica) run() {
+	defer close(r.done)
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
 		r.mu.Lock()
-		if r.stopped {
+		if r.stopped || r.err != nil {
 			r.mu.Unlock()
 			return
 		}
+		after := mvcc.SeqNo(r.appliedSeq)
+		before := r.applied
+		r.mu.Unlock()
+
+		ch, cancel := r.src.SubscribeFrom(after)
+		alive := r.applyLoop(ch, attempt > 0)
+		cancel()
+		if !alive {
+			return
+		}
+
+		// The channel closed: the source is gone or dropped us. Back off
+		// (resetting whenever the last attempt made progress) and retry.
+		r.mu.Lock()
+		progressed := r.applied > before
+		r.mu.Unlock()
+		if progressed {
+			backoff = time.Millisecond
+		}
+		select {
+		case <-r.stopCh:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// applyLoop applies records in order until the channel closes (returns
+// true: caller should re-subscribe) or the replica stops or halts
+// (returns false). Each transaction record is applied as a local
+// snapshot-isolation transaction, giving replica readers MVCC snapshots
+// for free, just as WAL replay on a PostgreSQL standby maintains MVCC
+// state. resume marks a re-subscription: boundary records that share
+// the resume sequence and were already applied are deduplicated.
+func (r *Replica) applyLoop(ch <-chan wal.Record, resume bool) bool {
+	for {
+		var rec wal.Record
+		var ok bool
+		select {
+		case rec, ok = <-ch:
+			if !ok {
+				return true
+			}
+		case <-r.stopCh:
+			return false
+		}
+
+		r.mu.Lock()
+		if r.stopped || r.err != nil {
+			r.mu.Unlock()
+			return false
+		}
+		if resume && r.duplicateLocked(rec) {
+			r.mu.Unlock()
+			continue
+		}
 		if !rec.SafeSnapshot {
-			r.applyRecord(rec)
+			if err := r.applyRecord(rec); err != nil {
+				r.err = fmt.Errorf("%w: record seq %d: %v", ErrReplicaHalted, rec.Seq, err)
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				return false
+			}
 		}
 		r.applied++
-		r.appliedS = uint64(rec.Seq)
+		if s := uint64(rec.Seq); s > r.appliedSeq {
+			r.appliedSeq = s
+		}
 		if rec.SafeSnapshot {
 			r.safeAt = r.applied
+			r.safeSeq = uint64(rec.Seq)
 		}
 		r.cond.Broadcast()
 		r.mu.Unlock()
 	}
-	r.mu.Lock()
-	r.stopped = true
-	r.cond.Broadcast()
-	r.mu.Unlock()
 }
 
-// applyRecord applies one transaction's ops (or one schema record).
-// Caller holds r.mu, which also serializes appliers against
-// snapshot-taking readers.
-func (r *Replica) applyRecord(rec wal.Record) {
+// duplicateLocked reports whether rec is a resume-boundary redelivery:
+// SubscribeFrom must redeliver marker/schema records that share the
+// resume sequence (they may postdate what the replica has applied), so
+// a reconnecting replica sees the ones it already handled again.
+// Commits are never duplicated (unique CSNs, filtered by Seq > after).
+// Caller holds r.mu.
+func (r *Replica) duplicateLocked(rec wal.Record) bool {
+	if rec.SafeSnapshot {
+		// Already marked safe at this sequence: re-marking is a no-op.
+		return uint64(rec.Seq) <= r.safeSeq && r.applied == r.safeAt && r.applied > 0
+	}
 	if rec.CreateTable != "" {
-		if _, err := r.db.table(rec.CreateTable); err != nil {
-			_ = r.db.CreateTable(rec.CreateTable)
+		if uint64(rec.Seq) > r.appliedSeq {
+			return false
 		}
-		return
+		_, err := r.db.table(rec.CreateTable)
+		return err == nil
+	}
+	return false
+}
+
+// applyRecord applies one transaction's ops (or one schema record),
+// reporting any failure — a failed apply means the replica has diverged
+// and must halt rather than keep serving. Caller holds r.mu, which also
+// serializes appliers against snapshot-taking readers.
+func (r *Replica) applyRecord(rec wal.Record) error {
+	if rec.CreateTable != "" {
+		if _, err := r.db.table(rec.CreateTable); err == nil {
+			return nil // pre-created via NewReplica's tables argument
+		}
+		return r.db.CreateTable(rec.CreateTable)
 	}
 	tx, err := r.db.Begin(TxOptions{Isolation: RepeatableRead})
 	if err != nil {
-		return
+		return err
 	}
 	for _, op := range rec.Ops {
 		switch {
 		case op.Delete:
-			_ = tx.Delete(op.Table, op.Key)
+			// A commit record carries each key's final version: a key
+			// both inserted and deleted in one transaction logs a delete
+			// for a row the replica never saw, so ErrNotFound is the one
+			// tolerable outcome (recovery replay tolerates it the same
+			// way).
+			if err := tx.Delete(op.Table, op.Key); err != nil && !errors.Is(err, ErrNotFound) {
+				tx.Rollback()
+				return err
+			}
 		default:
-			if err := tx.Update(op.Table, op.Key, op.Value); err != nil {
-				_ = tx.Insert(op.Table, op.Key, op.Value)
+			if err := tx.Put(op.Table, op.Key, op.Value); err != nil {
+				tx.Rollback()
+				return err
 			}
 		}
 	}
-	_ = tx.Commit()
+	return tx.Commit()
 }
 
 // BeginReadOnly starts a read-only transaction on the replica. With
@@ -122,49 +252,128 @@ func (r *Replica) applyRecord(rec wal.Record) {
 // a marker, it waits for the next one (WaitSafe) or fails
 // (ErrNotSafePoint). The returned transaction is an ordinary snapshot
 // transaction — a safe snapshot needs no SSI tracking, which is the whole
-// point (§4.2).
+// point (§4.2). A halted replica fails every begin with the recorded
+// apply error (errors.Is(err, ErrReplicaHalted)).
 func (r *Replica) BeginReadOnly(opts ReplicaTxOptions) (*Tx, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.stopped {
+		return nil, fmt.Errorf("pgssi: replica stopped: %w", ErrClosed)
+	}
 	if opts.Serializable {
 		if r.applied != r.safeAt || r.applied == 0 {
 			if !opts.WaitSafe {
 				return nil, ErrNotSafePoint
 			}
-			for (r.applied != r.safeAt || r.applied == 0) && !r.stopped {
+			for (r.applied != r.safeAt || r.applied == 0) && !r.stopped && r.err == nil {
 				r.cond.Wait()
 			}
+			if r.err != nil {
+				return nil, r.err
+			}
 			if r.stopped {
-				return nil, errors.New("pgssi: replica stopped")
+				return nil, fmt.Errorf("pgssi: replica stopped: %w", ErrClosed)
 			}
 		}
 	}
 	// r.mu is held: no record can be applied between the safety check
 	// and the snapshot, so the snapshot lands exactly on the marker.
-	return r.db.Begin(TxOptions{Isolation: RepeatableRead, ReadOnly: true})
+	tx, err := r.db.Begin(TxOptions{Isolation: RepeatableRead, ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	tx.replicaSafe = r.applied == r.safeAt && r.applied > 0
+	return tx, nil
 }
 
-// AppliedRecords returns how many WAL records have been applied.
-func (r *Replica) AppliedRecords() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.applied
-}
-
-// WaitApplied blocks until at least n records have been applied.
-func (r *Replica) WaitApplied(n int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for r.applied < n && !r.stopped {
-		r.cond.Wait()
+// NewSession returns a session serving this replica: Begin maps onto
+// BeginReadOnly (Serializable requires a safe snapshot; the deferrable
+// flag selects WaitSafe), non-read-only transactions are refused with
+// ErrReadOnlyTx, and DDL is refused — schema arrives via the stream.
+// It is the session a replica-mode pgssid serves to its clients.
+func (r *Replica) NewSession() *Session {
+	return &Session{
+		begin: func(opts TxOptions) (*Tx, error) {
+			if !opts.ReadOnly {
+				return nil, fmt.Errorf("pgssi: replica is read-only: %w", ErrReadOnlyTx)
+			}
+			return r.BeginReadOnly(ReplicaTxOptions{
+				Serializable: opts.Isolation == Serializable,
+				WaitSafe:     opts.Deferrable,
+			})
+		},
+		ddl: func(string) error {
+			return fmt.Errorf("pgssi: replica is read-only: %w", ErrReadOnlyTx)
+		},
+		txs: make(map[Handle]*Tx),
 	}
 }
 
-// Close detaches the replica from the log.
+// AppliedRecords returns how many WAL records have been applied, and the
+// apply error if the replica has halted — a halted replica's count is
+// frozen at the divergence point and must not be mistaken for lag.
+func (r *Replica) AppliedRecords() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied, r.err
+}
+
+// AppliedSeq returns the commit sequence number of the newest applied
+// record: the replica's durable position in the master's history, and
+// the router's lag signal. Unlike the applied-record count it is
+// comparable across reconnects and master restarts.
+func (r *Replica) AppliedSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appliedSeq
+}
+
+// SafeSeq returns the commit sequence number at the last safe-snapshot
+// marker: the position serializable read-only transactions run at.
+func (r *Replica) SafeSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.safeSeq
+}
+
+// Err returns the apply error that halted the replica, or nil.
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// WaitApplied blocks until at least n records have been applied,
+// returning early with the apply error if the replica halts first.
+func (r *Replica) WaitApplied(n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.applied < n && !r.stopped && r.err == nil {
+		r.cond.Wait()
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.applied < n {
+		return fmt.Errorf("pgssi: replica stopped: %w", ErrClosed)
+	}
+	return nil
+}
+
+// Close detaches the replica from the log and shuts its engine down.
 func (r *Replica) Close() {
 	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
 	r.stopped = true
 	r.cond.Broadcast()
 	r.mu.Unlock()
-	r.cancel()
+	close(r.stopCh)
+	<-r.done
+	r.db.Close()
 }

@@ -1,0 +1,263 @@
+package pgssi_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pgssi"
+	"pgssi/internal/wal"
+)
+
+// TestReplicaHaltsOnApplyError pins the apply-error contract: the first
+// failing apply halts the replica, and the error surfaces from every
+// observable — never a silently stale read.
+func TestReplicaHaltsOnApplyError(t *testing.T) {
+	log := wal.NewLog()
+	rep, err := pgssi.NewReplica(log, nil)
+	mustExec(t, err)
+	defer rep.Close()
+
+	// A commit against a table the replica does not have fails to apply.
+	log.Append(wal.Record{Seq: 1, Xid: 1, Ops: []wal.Op{{Table: "missing", Key: "k", Value: []byte("v")}}})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("replica did not halt on the failing apply")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(rep.Err(), pgssi.ErrReplicaHalted) {
+		t.Fatalf("halt error = %v, want ErrReplicaHalted", rep.Err())
+	}
+	if _, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{}); !errors.Is(err, pgssi.ErrReplicaHalted) {
+		t.Fatalf("BeginReadOnly on halted replica = %v, want ErrReplicaHalted", err)
+	}
+	n, err := rep.AppliedRecords()
+	if !errors.Is(err, pgssi.ErrReplicaHalted) {
+		t.Fatalf("AppliedRecords on halted replica = %v, want ErrReplicaHalted", err)
+	}
+	if n != 0 {
+		t.Fatalf("halted replica applied %d records, want 0 (frozen at divergence)", n)
+	}
+	if err := rep.WaitApplied(1); !errors.Is(err, pgssi.ErrReplicaHalted) {
+		t.Fatalf("WaitApplied on halted replica = %v, want ErrReplicaHalted", err)
+	}
+
+	// Appending more records must not revive it.
+	log.Append(wal.Record{Seq: 2, Xid: 2, SafeSnapshot: true})
+	time.Sleep(10 * time.Millisecond)
+	if n, _ := rep.AppliedRecords(); n != 0 {
+		t.Fatalf("halted replica kept applying (%d records)", n)
+	}
+}
+
+// TestNewReplicaErrorPathClosesEngine pins the construction error path:
+// a failed NewReplica must not leak its engine's background goroutines
+// (the epoch reclaimer, most notably).
+func TestNewReplicaErrorPathClosesEngine(t *testing.T) {
+	log := wal.NewLog()
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		// Duplicate table names make the second CreateTable fail.
+		if _, err := pgssi.NewReplica(log, []string{"kv", "kv"}); err == nil {
+			t.Fatal("NewReplica with duplicate tables succeeded")
+		}
+	}
+	// Engine shutdown is synchronous in Close, but give the runtime a
+	// moment to reap anything in flight before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d across 50 failed NewReplica calls: engine leaked",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReplicaSeqPositions pins AppliedSeq/SafeSeq: they track the
+// master's commit sequence and converge at quiescence.
+func TestReplicaSeqPositions(t *testing.T) {
+	walLog := wal.NewLog()
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	mustExec(t, db.CreateTable("kv"))
+	db.AttachWAL(walLog)
+
+	rep, err := pgssi.NewReplica(walLog, []string{"kv"})
+	mustExec(t, err)
+	defer rep.Close()
+	if rep.AppliedSeq() != 0 || rep.SafeSeq() != 0 {
+		t.Fatalf("fresh replica at %d/%d, want 0/0", rep.AppliedSeq(), rep.SafeSeq())
+	}
+
+	for i := 0; i < 3; i++ {
+		mustExec(t, db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+			return tx.Insert("kv", fmt.Sprintf("k%d", i), []byte("v"))
+		}))
+	}
+	mustExec(t, rep.WaitApplied(walLog.Len()))
+	if rep.AppliedSeq() != 3 || rep.SafeSeq() != 3 {
+		t.Fatalf("replica at %d/%d after 3 commits, want 3/3", rep.AppliedSeq(), rep.SafeSeq())
+	}
+}
+
+// TestAbortCompletesSafeSnapshot pins the liveness fix for wait-for-
+// safe: a commit that happens while another transaction is in flight
+// gets no marker, and if that other transaction then ABORTS, the abort
+// must complete the safe point (§7.2 — a snapshot is safe once
+// concurrent transactions complete, however they end). Without the
+// abort-path marker the deferrable begin below blocks forever.
+func TestAbortCompletesSafeSnapshot(t *testing.T) {
+	walLog := wal.NewLog()
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	mustExec(t, db.CreateTable("kv"))
+	db.AttachWAL(walLog)
+
+	rep, err := pgssi.NewReplica(walLog, []string{"kv"})
+	mustExec(t, err)
+	defer rep.Close()
+
+	// loser is concurrent with the commit of winner, so winner's commit
+	// emits no safe-snapshot marker.
+	loser, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+	mustExec(t, err)
+	mustExec(t, loser.Put("kv", "doomed", []byte("x")))
+	mustExec(t, db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+		return tx.Put("kv", "winner", []byte("1"))
+	}))
+
+	// The replica applies the commit but has no safe point past it yet.
+	mustExec(t, rep.WaitApplied(1))
+	if rep.SafeSeq() >= rep.AppliedSeq() {
+		t.Fatalf("expected replica past its safe point (applied %d, safe %d)", rep.AppliedSeq(), rep.SafeSeq())
+	}
+
+	begun := make(chan error, 1)
+	go func() {
+		tx, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true, WaitSafe: true})
+		if err == nil {
+			defer tx.Rollback()
+			if !tx.OnSafeSnapshot() {
+				err = errors.New("deferrable begin returned a non-safe snapshot")
+			} else if v, gerr := tx.Get("kv", "winner"); gerr != nil || string(v) != "1" {
+				err = fmt.Errorf("safe snapshot missing the winner commit: %q, %v", v, gerr)
+			}
+		}
+		begun <- err
+	}()
+	select {
+	case err := <-begun:
+		t.Fatalf("wait-for-safe returned before the concurrent transaction finished: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// The abort is what makes the snapshot safe.
+	mustExec(t, loser.Rollback())
+	select {
+	case err := <-begun:
+		mustExec(t, err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not complete the safe point: wait-for-safe still blocked")
+	}
+}
+
+// TestReplicaWaitSafeUnderWorkload hammers wait-for-safe begins while
+// the master runs a concurrent write workload; every begin must land on
+// a safe snapshot. Run under -race this also exercises the apply-loop /
+// reader synchronization.
+func TestReplicaWaitSafeUnderWorkload(t *testing.T) {
+	walLog := wal.NewLog()
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	mustExec(t, db.CreateTable("kv"))
+	db.AttachWAL(walLog)
+
+	rep, err := pgssi.NewReplica(walLog, []string{"kv"})
+	mustExec(t, err)
+	defer rep.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+					return tx.Put("kv", fmt.Sprintf("w%d", w), []byte{byte(i)})
+				})
+			}
+		}(w)
+	}
+
+	for i := 0; i < 100; i++ {
+		tx, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true, WaitSafe: true})
+		mustExec(t, err)
+		if !tx.OnSafeSnapshot() {
+			t.Fatalf("begin %d: serializable replica read not on a safe snapshot", i)
+		}
+		if err := tx.Scan("kv", "", "", func(string, []byte) bool { return true }); err != nil {
+			t.Fatalf("begin %d scan: %v", i, err)
+		}
+		mustExec(t, tx.Commit())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestReplicaSessionRefusesWrites pins the replica session contract
+// over the shared session surface.
+func TestReplicaSessionRefusesWrites(t *testing.T) {
+	walLog := wal.NewLog()
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	mustExec(t, db.CreateTable("kv"))
+	db.AttachWAL(walLog)
+	mustExec(t, db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+		return tx.Insert("kv", "k", []byte("v"))
+	}))
+
+	rep, err := pgssi.NewReplica(walLog, []string{"kv"})
+	mustExec(t, err)
+	defer rep.Close()
+	mustExec(t, rep.WaitApplied(2))
+
+	sess := rep.NewSession()
+	defer sess.Close()
+	if _, st := sess.Begin(pgssi.Serializable, false, false); st != pgssi.StatusReadOnlyTx {
+		t.Fatalf("read-write begin on replica session: %v", st)
+	}
+	if st := sess.CreateTable("t2"); st != pgssi.StatusReadOnlyTx {
+		t.Fatalf("ddl on replica session: %v", st)
+	}
+	h, st := sess.Begin(pgssi.Serializable, true, true)
+	if !st.OK() {
+		t.Fatalf("read-only begin: %v", st)
+	}
+	if v, st := sess.Get(h, "kv", "k"); !st.OK() || string(v) != "v" {
+		t.Fatalf("get = %q, %v", v, st)
+	}
+	if st := sess.Put(h, "kv", "k", []byte("w")); st != pgssi.StatusReadOnlyTx {
+		t.Fatalf("put in read-only txn: %v", st)
+	}
+	if st := sess.Commit(h); !st.OK() {
+		t.Fatalf("commit: %v", st)
+	}
+}

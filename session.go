@@ -33,6 +33,9 @@ const (
 	StatusShuttingDown
 	StatusInternal
 	StatusNetwork
+	StatusNotSafe
+	StatusReplicaHalted
+	StatusNoReplication
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +71,12 @@ func (s Status) String() string {
 		return "internal error"
 	case StatusNetwork:
 		return "network error"
+	case StatusNotSafe:
+		return "not at a safe snapshot"
+	case StatusReplicaHalted:
+		return "replica halted"
+	case StatusNoReplication:
+		return "replication unavailable"
 	default:
 		return "unknown status"
 	}
@@ -109,6 +118,10 @@ func (s Status) Err() error {
 		return ErrInvalidHandle
 	case StatusShuttingDown:
 		return ErrClosed
+	case StatusNotSafe:
+		return ErrNotSafePoint
+	case StatusReplicaHalted:
+		return ErrReplicaHalted
 	default:
 		return errors.New("pgssi: " + s.String())
 	}
@@ -140,6 +153,10 @@ func StatusOf(err error) Status {
 		return StatusPrepared
 	case errors.Is(err, ErrInvalidHandle):
 		return StatusInvalidHandle
+	case errors.Is(err, ErrNotSafePoint):
+		return StatusNotSafe
+	case errors.Is(err, ErrReplicaHalted):
+		return StatusReplicaHalted
 	case errors.Is(err, ErrClosed):
 		return StatusShuttingDown
 	default:
@@ -169,7 +186,14 @@ type KV struct {
 // handle. The Session itself is safe for concurrent use; each individual
 // handle must be driven by one goroutine at a time (the usual Tx rule).
 type Session struct {
-	db *DB
+	// begin and ddl are the session's only couplings to its backing
+	// store: a primary session begins transactions on the DB directly,
+	// while a replica session (Replica.NewSession) maps Begin onto
+	// safe-snapshot read-only transactions and refuses DDL. Everything
+	// else in the session layer is handle bookkeeping over *Tx, which is
+	// identical on both.
+	begin func(TxOptions) (*Tx, error)
+	ddl   func(name string) error
 
 	mu   sync.Mutex
 	next Handle
@@ -178,7 +202,7 @@ type Session struct {
 
 // NewSession returns a new session over the database.
 func (db *DB) NewSession() *Session {
-	return &Session{db: db, txs: make(map[Handle]*Tx)}
+	return &Session{begin: db.Begin, ddl: db.CreateTable, txs: make(map[Handle]*Tx)}
 }
 
 // lookup resolves a handle.
@@ -204,12 +228,20 @@ func (s *Session) drop(h Handle) {
 // TRANSACTION READ ONLY, DEFERRABLE) and may block until a safe
 // snapshot is available.
 func (s *Session) Begin(level IsolationLevel, readOnly, deferrable bool) (Handle, Status) {
-	tx, err := s.db.Begin(TxOptions{Isolation: level, ReadOnly: readOnly, Deferrable: deferrable})
+	tx, err := s.begin(TxOptions{Isolation: level, ReadOnly: readOnly, Deferrable: deferrable})
 	if err != nil {
-		if errors.Is(err, ErrClosed) {
+		switch {
+		case errors.Is(err, ErrClosed):
 			return 0, StatusShuttingDown
+		case errors.Is(err, ErrNotSafePoint):
+			return 0, StatusNotSafe
+		case errors.Is(err, ErrReplicaHalted):
+			return 0, StatusReplicaHalted
+		case errors.Is(err, ErrReadOnlyTx):
+			return 0, StatusReadOnlyTx
+		default:
+			return 0, StatusInvalidRequest
 		}
-		return 0, StatusInvalidRequest
 	}
 	s.mu.Lock()
 	s.next++
@@ -342,14 +374,21 @@ func (s *Session) RollbackToSavepoint(h Handle, name string) Status {
 }
 
 // CreateTable creates a table (DDL is not transactional; the handle
-// argument is absent on purpose).
+// argument is absent on purpose). Replica sessions refuse it with
+// StatusReadOnlyTx: schema arrives via the replication stream.
 func (s *Session) CreateTable(name string) Status {
-	err := s.db.CreateTable(name)
-	if err != nil {
-		// CreateTable's only failure modes today: duplicate table.
+	err := s.ddl(name)
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, ErrReadOnlyTx):
+		return StatusReadOnlyTx
+	case errors.Is(err, ErrClosed):
+		return StatusShuttingDown
+	default:
+		// The primary's only other failure mode today: duplicate table.
 		return StatusDuplicateKey
 	}
-	return StatusOK
 }
 
 // Open returns the number of transactions currently open in the session.

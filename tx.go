@@ -37,6 +37,12 @@ type Tx struct {
 	prepared bool
 	gid      string
 	prepSt   core.PreparedState
+
+	// replicaSafe is stamped by Replica.BeginReadOnly while it holds the
+	// replica's apply mutex: true iff the snapshot was taken exactly at a
+	// safe-snapshot marker. Replica transactions have no SSI state (x is
+	// nil), so OnSafeSnapshot reports safety through this flag instead.
+	replicaSafe bool
 }
 
 type writeKey struct{ table, key string }
@@ -118,8 +124,10 @@ func (tx *Tx) Isolation() IsolationLevel { return tx.level }
 
 // OnSafeSnapshot reports whether a Serializable read-only transaction is
 // currently running on a safe snapshot (no SSI overhead, cannot abort).
+// On a primary this is the SSI layer's verdict; on a replica it reports
+// whether the snapshot was taken exactly at a safe-snapshot marker.
 func (tx *Tx) OnSafeSnapshot() bool {
-	return tx.x != nil && tx.x.Safe()
+	return tx.replicaSafe || (tx.x != nil && tx.x.Safe())
 }
 
 // snapshot returns the snapshot for the next statement.
@@ -244,6 +252,7 @@ func (tx *Tx) rollbackLocked() {
 		tx.db.s2pl.ReleaseAll(tx.xid)
 	}
 	tx.done = true
+	tx.db.emitAbortSafePoint()
 }
 
 // emitWAL appends the transaction's logical changes to the attached WAL,
@@ -271,6 +280,44 @@ func (db *DB) emitWAL(tx *Tx) {
 	}
 	if db.mvcc.ActiveCount() == 0 {
 		db.walLog.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+		db.noteMarker(seq)
+	}
+}
+
+// noteMarker records that a safe-snapshot marker was emitted at seq.
+func (db *DB) noteMarker(seq mvcc.SeqNo) {
+	for {
+		old := db.markerSeq.Load()
+		if uint64(seq) <= old || db.markerSeq.CompareAndSwap(old, uint64(seq)) {
+			return
+		}
+	}
+}
+
+// emitAbortSafePoint emits a safe-snapshot marker when an abort leaves
+// the system quiescent. A snapshot is safe once every concurrent
+// transaction has completed — committed or aborted (§7.2). Without
+// this, a commit trailed by a doomed concurrent transaction (the
+// serialization-failure loser, say) never gets its marker, and a
+// replica's wait-for-safe blocks until unrelated write traffic shows
+// up. Deduplicated by markerSeq: an abort with no commits since the
+// last marker emits nothing.
+func (db *DB) emitAbortSafePoint() {
+	if db.mvcc.ActiveCount() != 0 {
+		return
+	}
+	seq := db.mvcc.CurrentSeq()
+	if seq == 0 || uint64(seq) <= db.markerSeq.Load() {
+		return
+	}
+	db.noteMarker(seq)
+	db.walMu.Lock()
+	if db.walLog != nil {
+		db.walLog.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+	}
+	db.walMu.Unlock()
+	if db.durable != nil {
+		db.durable.Append(wal.Record{Seq: seq, SafeSnapshot: true})
 	}
 }
 
