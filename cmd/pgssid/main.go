@@ -72,7 +72,7 @@ func main() {
 				names = append(names, t)
 			}
 		}
-		rep, err := pgssi.NewReplica(&wire.ReplicaSource{Addr: *replFrom, DialTimeout: 10 * time.Second}, names)
+		rep, err := pgssi.NewReplica(&wire.ReplicaSource{Addr: *replFrom, DialTimeout: 10 * time.Second, Logf: log.Printf}, names)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -326,12 +326,23 @@ type DB struct {
 	prepMu   sync.Mutex
 	prepared map[string]*Tx
 
-	walMu  sync.Mutex
-	walLog *wal.Log
+	// walMu orders WAL sink appends with commit publication: a
+	// committer with writes holds it across mvcc.Commit AND the append
+	// (see publishCommit), so records land in the log in commit-sequence
+	// order and safe-snapshot markers are only emitted after every
+	// commit record they cover. Lock order: ssi locks → walMu → mvcc
+	// shard locks → wal log locks; nothing takes walMu while holding a
+	// lock later in that chain.
+	walMu sync.Mutex
+	// walLog is the attached in-memory log-shipping sink (AttachWAL),
+	// nil when detached. Atomic so the no-sink fast paths (aborts,
+	// no-write commits) can check it without taking walMu; it is only
+	// written under walMu.
+	walLog atomic.Pointer[wal.Log]
 	// markerSeq is the highest commit sequence a safe-snapshot marker
-	// has been emitted at, deduplicating the abort-path markers (every
-	// commit advances the sequence, so commit-path markers are
-	// naturally distinct).
+	// has been emitted at. Only written by maybeEmitMarkerLocked under
+	// walMu (the unlocked loads are pre-checks), which keeps marker
+	// sequences in the log monotone.
 	markerSeq atomic.Uint64
 
 	// durable is the on-disk WAL, non-nil only for OpenDir without
@@ -461,7 +472,7 @@ func (db *DB) CommitLogSize() int { return db.mvcc.LogSize() }
 func (db *DB) AttachWAL(log *wal.Log) {
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
-	db.walLog = log
+	db.walLog.Store(log)
 }
 
 // WALStream returns the stream replicas subscribe to: the durable log
@@ -472,10 +483,8 @@ func (db *DB) WALStream() wal.Stream {
 	if db.durable != nil {
 		return db.durable
 	}
-	db.walMu.Lock()
-	defer db.walMu.Unlock()
-	if db.walLog != nil {
-		return db.walLog
+	if log := db.walLog.Load(); log != nil {
+		return log
 	}
 	return nil
 }
@@ -575,25 +584,19 @@ func (db *DB) Close() error {
 	// and prevents new spawns, then runs one final synchronous pass so
 	// everything already reclaimable is dropped.
 	db.ssi.Close()
-	// Flush the WAL attachment: emit a final safe-snapshot marker if the
-	// system is quiescent (a replica consuming the log can then serve
-	// serializable reads up to the shutdown point, §7.2) and detach.
+	// Flush the WAL sinks: emit a final safe-snapshot marker if the
+	// system is quiescent and one is owed (a replica consuming the log
+	// can then serve serializable reads up to the shutdown point, §7.2)
+	// and detach the in-memory attachment.
 	db.walMu.Lock()
-	if db.walLog != nil && db.mvcc.ActiveCount() == 0 {
-		seq := db.mvcc.CurrentSeq()
-		db.walLog.Append(wal.Record{Seq: seq, SafeSnapshot: true})
-		db.noteMarker(seq)
-	}
-	db.walLog = nil
+	db.maybeEmitMarkerLocked()
+	db.walLog.Store(nil)
 	db.walMu.Unlock()
 	// Flush and close the durable WAL: the final flush syncs even in
 	// FsyncOff mode, so a cleanly closed database is durable regardless
 	// of fsync policy. Commits still in flight past this point fail
 	// their durability wait with wal.ErrClosed.
 	if db.durable != nil {
-		if db.mvcc.ActiveCount() == 0 {
-			db.durable.Append(wal.Record{Seq: db.mvcc.CurrentSeq(), SafeSnapshot: true})
-		}
 		return db.durable.Close()
 	}
 	return nil

@@ -191,6 +191,33 @@ func TestReplicateWithoutWAL(t *testing.T) {
 	}
 }
 
+// TestReplicaHaltsOnNoReplication: a replica attached to a primary that
+// refuses replication outright (no WAL stream) must halt with the
+// refusal surfaced — not retry forever while looking healthy at seq 0.
+func TestReplicaHaltsOnNoReplication(t *testing.T) {
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	srv, _ := startServer(t, db, Config{})
+	defer srv.Shutdown()
+
+	src := &wire.ReplicaSource{Addr: srv.addr, DialTimeout: 5 * time.Second}
+	rep, err := pgssi.NewReplica(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	waitFor(t, 5*time.Second, func() bool { return rep.Err() != nil }, "halt on refused replication")
+	if !errors.Is(rep.Err(), pgssi.ErrReplicaHalted) {
+		t.Fatalf("halt error = %v, want ErrReplicaHalted", rep.Err())
+	}
+	if src.PermanentErr() == nil {
+		t.Fatal("ReplicaSource recorded no permanent error for StatusNoReplication")
+	}
+	if _, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true}); !errors.Is(err, pgssi.ErrReplicaHalted) {
+		t.Fatalf("begin on halted replica = %v, want ErrReplicaHalted", err)
+	}
+}
+
 // TestReplicaCatchesUpAcrossMasterRestart: a durable master is stopped
 // and reopened on the same address while a replica is attached. The
 // replica must reconnect, resume from its applied position, and apply

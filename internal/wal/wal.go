@@ -14,13 +14,17 @@
 //     files with group-commit fsync batching and crash recovery; see
 //     docs/wal.md for the normative on-disk format.
 //
-// Records are appended in an order consistent with commit dependencies:
-// the engine reserves a record's log position inside the MVCC commit
-// publication critical section (see internal/mvcc Config.OnCommitPublish
-// and pgssi's commit path), so a transaction that observed another's
-// writes always appears later in the log. Recovery replaying a prefix of
-// the log therefore always reconstructs a dependency-closed prefix of
-// the committed history.
+// Records are appended in commit-sequence order: the engine serializes
+// each commit's publication with its log append under one mutex (pgssi's
+// publishCommit; the durable path additionally reserves its position
+// inside the MVCC publication critical section via
+// internal/mvcc Config.OnCommitPublish), so a transaction that observed
+// another's writes always appears later in the log, and a safe-snapshot
+// marker always follows every commit record it covers. Recovery
+// replaying a prefix of the log therefore always reconstructs a
+// dependency-closed prefix of the committed history, and a subscriber
+// resuming from its newest applied commit sequence (SubscribeFrom)
+// never misses an earlier commit appended late.
 package wal
 
 import (
@@ -76,6 +80,17 @@ type Record struct {
 type Stream interface {
 	Subscribe() (<-chan Record, func())
 	SubscribeFrom(after mvcc.SeqNo) (<-chan Record, func())
+}
+
+// SourceErrorer is optionally implemented by Stream sources whose
+// subscriptions can fail permanently (a network source whose primary
+// refuses replication outright, say). A closed subscription channel
+// normally means "re-subscribe and catch up"; a consumer should first
+// check PermanentErr and stop retrying — and surface the error — when
+// it reports non-nil. In-process logs never fail permanently and do not
+// implement it.
+type SourceErrorer interface {
+	PermanentErr() error
 }
 
 // deliverFrom reports whether rec belongs in a subscription resuming

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -16,12 +17,17 @@ import (
 // decodes the resulting stream of record frames. It is the source a
 // replica-mode pgssid (or an in-process pgssi.NewReplica) attaches to.
 //
-// Failure handling is deliberately dumb: any dial, protocol, or decode
-// failure just closes the subscription channel. The consumer
-// (pgssi.Replica) treats a closed channel as "re-subscribe from the
-// applied position with backoff", so reconnect-and-catch-up logic lives
-// in exactly one place and a flaky network looks the same as a slow
-// subscriber being dropped by the fan-out.
+// Transient failure handling is deliberately dumb: a dial, protocol, or
+// decode failure just closes the subscription channel (optionally noted
+// via Logf). The consumer (pgssi.Replica) treats a closed channel as
+// "re-subscribe from the applied position with backoff", so
+// reconnect-and-catch-up logic lives in exactly one place and a flaky
+// network looks the same as a slow subscriber being dropped by the
+// fan-out. The one exception is a primary that answers the handshake
+// with StatusNoReplication — it has no WAL stream and can never feed a
+// replica, so retrying is futile: that refusal is recorded and exposed
+// through PermanentErr (wal.SourceErrorer), which pgssi.Replica halts
+// on instead of retrying forever while looking healthy.
 type ReplicaSource struct {
 	// Addr is the master's TCP address.
 	Addr string
@@ -30,7 +36,31 @@ type ReplicaSource struct {
 	// the stream itself — an idle stream is a quiet master, not a
 	// failure.
 	DialTimeout time.Duration
+	// Logf, if non-nil, receives a line per failed subscription attempt
+	// (transient and permanent alike), so an operator can see why a
+	// replica is not advancing.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	permErr error
 }
+
+func (s *ReplicaSource) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// PermanentErr implements wal.SourceErrorer: it reports the recorded
+// permanent refusal (the primary answered StatusNoReplication), or nil
+// if every failure so far has been transient.
+func (s *ReplicaSource) PermanentErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.permErr
+}
+
+var _ wal.SourceErrorer = (*ReplicaSource)(nil)
 
 // Subscribe implements wal.Stream (full replay).
 func (s *ReplicaSource) Subscribe() (<-chan wal.Record, func()) {
@@ -47,6 +77,7 @@ func (s *ReplicaSource) SubscribeFrom(after mvcc.SeqNo) (<-chan wal.Record, func
 	d.Timeout = s.DialTimeout
 	conn, err := d.Dial("tcp", s.Addr)
 	if err != nil {
+		s.logf("replication subscribe %s: %v", s.Addr, err)
 		close(out)
 		return out, func() {}
 	}
@@ -58,6 +89,7 @@ func (s *ReplicaSource) SubscribeFrom(after mvcc.SeqNo) (<-chan wal.Record, func
 	}
 	req := AppendRequest(nil, &Request{Op: OpReplicate, AfterSeq: uint64(after)})
 	if err := WriteFrame(conn, req); err != nil {
+		s.logf("replication subscribe %s: handshake write: %v", s.Addr, err)
 		conn.Close()
 		close(out)
 		return out, func() {}
@@ -65,12 +97,25 @@ func (s *ReplicaSource) SubscribeFrom(after mvcc.SeqNo) (<-chan wal.Record, func
 	br := bufio.NewReader(conn)
 	body, err := ReadFrame(br, nil)
 	if err != nil {
+		s.logf("replication subscribe %s: handshake read: %v", s.Addr, err)
 		conn.Close()
 		close(out)
 		return out, func() {}
 	}
 	resp, err := DecodeResponse(body)
 	if err != nil || resp.Status != pgssi.StatusOK {
+		if err == nil && resp.Status == pgssi.StatusNoReplication {
+			// The primary exists and answered: it has no WAL stream.
+			// No amount of retrying changes that — record the refusal
+			// so the consumer can halt instead of spinning.
+			perr := fmt.Errorf("wire: primary %s refused replication: it emits no WAL stream", s.Addr)
+			s.mu.Lock()
+			s.permErr = perr
+			s.mu.Unlock()
+			s.logf("%v", perr)
+		} else {
+			s.logf("replication subscribe %s: handshake response: status=%v err=%v", s.Addr, resp.Status, err)
+		}
 		conn.Close()
 		close(out)
 		return out, func() {}

@@ -24,7 +24,9 @@ import (
 //     observe the commit before this point, a transaction that read this
 //     one's writes always reserves a later position — every log prefix
 //     is dependency-closed, so recovery of any prefix yields a
-//     transaction-consistent state.
+//     transaction-consistent state. The publication itself runs under
+//     db.walMu (see publishCommit in tx.go), so positions are reserved
+//     in commit-sequence order across commit-log shards.
 //   - walFinish (committer goroutine again) waits for the record's group
 //     commit fsync before Commit returns — the durability contract: an
 //     acknowledged commit survives a crash.
@@ -178,25 +180,17 @@ func (db *DB) walAbandon(tx *Tx) {
 }
 
 // walFinish completes the durable commit path after the MVCC commit
-// published: wait out the group-commit fsync covering tx's record, then
-// append a safe-snapshot marker if the system went quiescent (§7.2; the
-// marker is not waited on). A durability failure is returned to the
-// committer — the commit is visible in memory, but the log is poisoned
-// and every later commit will fail the same way.
+// published: wait out the group-commit fsync covering tx's record (the
+// safe-snapshot marker, if the commit left the system quiescent, was
+// already emitted by publishCommit; markers are never waited on). A
+// durability failure is returned to the committer — the commit is
+// visible in memory, but the log is poisoned and every later commit
+// will fail the same way.
 func (db *DB) walFinish(pend *wal.Pending) error {
-	if db.durable == nil {
+	if pend == nil {
 		return nil
 	}
-	var err error
-	if pend != nil {
-		err = pend.Wait()
-	}
-	if db.mvcc.ActiveCount() == 0 {
-		seq := db.mvcc.CurrentSeq()
-		db.durable.Append(wal.Record{Seq: seq, SafeSnapshot: true})
-		db.noteMarker(seq)
-	}
-	return err
+	return pend.Wait()
 }
 
 // WALRecoveredRecords reports how many WAL records survived recovery at

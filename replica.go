@@ -45,7 +45,7 @@ type Replica struct {
 	safeAt     int    // applied position of the last safe-snapshot marker
 	appliedSeq uint64 // commit sequence of the newest applied record
 	safeSeq    uint64 // commit sequence at the last safe-snapshot marker
-	err        error  // first apply failure; the replica is halted once set
+	err        error  // first fatal failure (apply error or permanent source refusal); the replica is halted once set
 	stopped    bool
 }
 
@@ -53,9 +53,11 @@ type Replica struct {
 // replica's applied position is not currently a safe snapshot.
 var ErrNotSafePoint = errors.New("pgssi: replica is not at a safe snapshot point")
 
-// ErrReplicaHalted wraps the first apply failure: the replica has
-// stopped applying the stream and refuses to serve until rebuilt.
-var ErrReplicaHalted = errors.New("pgssi: replica halted on apply error")
+// ErrReplicaHalted wraps the failure that halted the replica — the
+// first apply error, or a permanent refusal from the record source
+// (wal.SourceErrorer): the replica has stopped applying the stream and
+// refuses to serve until rebuilt.
+var ErrReplicaHalted = errors.New("pgssi: replica halted")
 
 // ReplicaTxOptions configure a replica read-only transaction.
 type ReplicaTxOptions struct {
@@ -120,6 +122,22 @@ func (r *Replica) run() {
 			return
 		}
 
+		// A source that reports a permanent failure (e.g. wire's
+		// ReplicaSource after the primary refused replication outright)
+		// can never feed this replica: halt with the error surfaced
+		// instead of retrying forever while looking healthy.
+		if se, ok := r.src.(wal.SourceErrorer); ok {
+			if perr := se.PermanentErr(); perr != nil {
+				r.mu.Lock()
+				if r.err == nil {
+					r.err = fmt.Errorf("%w: source refused replication: %v", ErrReplicaHalted, perr)
+				}
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				return
+			}
+		}
+
 		// The channel closed: the source is gone or dropped us. Back off
 		// (resetting whenever the last attempt made progress) and retry.
 		r.mu.Lock()
@@ -177,12 +195,33 @@ func (r *Replica) applyLoop(ch <-chan wal.Record, resume bool) bool {
 			}
 		}
 		r.applied++
-		if s := uint64(rec.Seq); s > r.appliedSeq {
-			r.appliedSeq = s
-		}
-		if rec.SafeSnapshot {
-			r.safeAt = r.applied
-			r.safeSeq = uint64(rec.Seq)
+		switch {
+		case rec.SafeSnapshot:
+			// A marker certifies a safe snapshot only at or past
+			// everything applied so far: a stale marker (sequence below
+			// an applied commit, or below the last safe point — possible
+			// only from a reordered or misbehaving source, since the
+			// primary emits markers monotonically after the commits they
+			// cover) must not declare this position safe or regress
+			// safeSeq. It is counted as applied but otherwise ignored.
+			if s := uint64(rec.Seq); s >= r.appliedSeq && s >= r.safeSeq {
+				r.safeAt = r.applied
+				r.safeSeq = s
+			}
+		case rec.CreateTable != "":
+			// Schema records carry the sequence of the last commit they
+			// follow, stamped outside the commit ordering; they must not
+			// advance the resume position (see below).
+		default:
+			// Only commit records advance appliedSeq — the resume
+			// position handed to SubscribeFrom. Markers and schema
+			// records may carry sequences ahead of the last applied
+			// commit record (read-only commits consume sequence numbers
+			// without emitting records); advancing the resume position on
+			// them would filter out commits the replica never applied.
+			if s := uint64(rec.Seq); s > r.appliedSeq {
+				r.appliedSeq = s
+			}
 		}
 		r.cond.Broadcast()
 		r.mu.Unlock()

@@ -88,17 +88,16 @@ func (db *DB) CommitPrepared(gid string) error {
 	}
 	if tx.x != nil {
 		if err := db.ssi.CommitPrepared(tx.x, func() mvcc.SeqNo {
-			return db.mvcc.Commit(tx.xid)
+			return db.publishCommit(tx)
 		}); err != nil {
 			db.walAbandon(tx)
 			return err
 		}
 	} else {
-		db.mvcc.Commit(tx.xid)
+		db.publishCommit(tx)
 	}
 	tx.done = true
 	tx.prepared = false
-	db.emitWAL(tx)
 	return db.walFinish(pend)
 }
 

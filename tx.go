@@ -211,7 +211,7 @@ func (tx *Tx) Commit() error {
 	switch tx.level {
 	case Serializable:
 		err := tx.db.ssi.Commit(tx.x, func() mvcc.SeqNo {
-			return tx.db.mvcc.Commit(tx.xid)
+			return tx.db.publishCommit(tx)
 		})
 		if err != nil {
 			tx.db.walAbandon(tx)
@@ -219,13 +219,12 @@ func (tx *Tx) Commit() error {
 			return serializationFailure("pre-commit dangerous structure check")
 		}
 	case RepeatableRead, ReadCommitted:
-		tx.db.mvcc.Commit(tx.xid)
+		tx.db.publishCommit(tx)
 	case SerializableS2PL:
-		tx.db.mvcc.Commit(tx.xid)
+		tx.db.publishCommit(tx)
 		tx.db.s2pl.ReleaseAll(tx.xid)
 	}
 	tx.done = true
-	tx.db.emitWAL(tx)
 	return tx.db.walFinish(pend)
 }
 
@@ -255,42 +254,76 @@ func (tx *Tx) rollbackLocked() {
 	tx.db.emitAbortSafePoint()
 }
 
-// emitWAL appends the transaction's logical changes to the attached WAL,
-// followed by a safe-snapshot marker when no transaction remains in
-// flight (§7.2).
-func (db *DB) emitWAL(tx *Tx) {
+// publishCommit makes tx's commit visible (mvcc.Commit) and appends its
+// record to any attached WAL sink in commit-sequence order.
+//
+// For a transaction with writes, the sequence assignment and the append
+// happen inside one db.walMu critical section: walMu is taken BEFORE
+// mvcc.Commit, so two committers cannot publish in one order and append
+// in the other, and an observer holding walMu that sees ActiveCount()==0
+// knows every assigned sequence's commit record is already in the log
+// (every logging committer appends before releasing walMu; no-write
+// commits append nothing). That invariant is what makes the safe-snapshot
+// markers emitted by maybeEmitMarkerLocked sound, and it keeps the
+// in-memory log consistent with Stream.SubscribeFrom's resume contract
+// (a replica resuming after sequence S must never find a commit ≤ S
+// appended later). The durable path's walCommitHook reserves its log
+// position inside the MVCC publication critical section, which walMu now
+// also covers, so the durable log is append-ordered across shards too.
+//
+// No-write commits skip walMu around mvcc.Commit entirely — they have
+// nothing to append — and only take it afterwards if they may have made
+// the system quiescent and owe the stream a marker.
+func (db *DB) publishCommit(tx *Tx) mvcc.SeqNo {
+	sink := db.durable != nil || db.walLog.Load() != nil
+	if !sink || len(tx.writes) == 0 {
+		seq := db.mvcc.Commit(tx.xid)
+		if sink && db.mvcc.ActiveCount() == 0 {
+			db.walMu.Lock()
+			db.maybeEmitMarkerLocked()
+			db.walMu.Unlock()
+		}
+		return seq
+	}
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
-	if db.walLog == nil {
-		return
+	seq := db.mvcc.Commit(tx.xid)
+	if log := db.walLog.Load(); log != nil {
+		rec := db.buildWALRecord(tx)
+		rec.Seq = seq
+		log.Append(rec)
 	}
-	seq := db.mvcc.CommitSeq(tx.xid)
-	if len(tx.writes) > 0 {
-		rec := wal.Record{Seq: seq}
-		for wk, vs := range tx.writes {
-			last := vs[len(vs)-1]
-			rec.Ops = append(rec.Ops, wal.Op{
-				Table:  wk.table,
-				Key:    wk.key,
-				Value:  last.value,
-				Delete: last.deleted,
-			})
-		}
-		db.walLog.Append(rec)
-	}
-	if db.mvcc.ActiveCount() == 0 {
-		db.walLog.Append(wal.Record{Seq: seq, SafeSnapshot: true})
-		db.noteMarker(seq)
-	}
+	db.maybeEmitMarkerLocked()
+	return seq
 }
 
-// noteMarker records that a safe-snapshot marker was emitted at seq.
-func (db *DB) noteMarker(seq mvcc.SeqNo) {
-	for {
-		old := db.markerSeq.Load()
-		if uint64(seq) <= old || db.markerSeq.CompareAndSwap(old, uint64(seq)) {
-			return
-		}
+// maybeEmitMarkerLocked appends a safe-snapshot marker at the current
+// commit sequence to every attached WAL sink if the system is quiescent
+// and no marker at or past that sequence was already emitted. Caller
+// holds db.walMu, which makes the markerSeq check-and-advance atomic
+// with the append: marker sequences in the log never decrease, and a
+// marker is always appended after every commit record it covers (see
+// publishCommit's ordering invariant). markerSeq is only written here,
+// under walMu, so a plain store suffices.
+//
+// The marker is valid even if no-write commits advanced the sequence
+// past the last logged record: a transaction beginning after this
+// quiescent instant takes a snapshot at or past seq, so no
+// rw-antidependency can reach out of the marker's snapshot (§7.2).
+func (db *DB) maybeEmitMarkerLocked() {
+	if db.mvcc.ActiveCount() != 0 {
+		return
+	}
+	seq := db.mvcc.CurrentSeq()
+	if seq == 0 || uint64(seq) <= db.markerSeq.Load() {
+		return
+	}
+	db.markerSeq.Store(uint64(seq))
+	if log := db.walLog.Load(); log != nil {
+		log.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+	}
+	if db.durable != nil {
+		db.durable.Append(wal.Record{Seq: seq, SafeSnapshot: true})
 	}
 }
 
@@ -300,25 +333,19 @@ func (db *DB) noteMarker(seq mvcc.SeqNo) {
 // this, a commit trailed by a doomed concurrent transaction (the
 // serialization-failure loser, say) never gets its marker, and a
 // replica's wait-for-safe blocks until unrelated write traffic shows
-// up. Deduplicated by markerSeq: an abort with no commits since the
-// last marker emits nothing.
+// up. The unlocked pre-checks keep the common abort cheap; the
+// authoritative check-and-append runs under walMu so a stale marker can
+// never be appended after a newer commit or marker.
 func (db *DB) emitAbortSafePoint() {
-	if db.mvcc.ActiveCount() != 0 {
+	if db.durable == nil && db.walLog.Load() == nil {
 		return
 	}
-	seq := db.mvcc.CurrentSeq()
-	if seq == 0 || uint64(seq) <= db.markerSeq.Load() {
+	if db.mvcc.ActiveCount() != 0 || uint64(db.mvcc.CurrentSeq()) <= db.markerSeq.Load() {
 		return
 	}
-	db.noteMarker(seq)
 	db.walMu.Lock()
-	if db.walLog != nil {
-		db.walLog.Append(wal.Record{Seq: seq, SafeSnapshot: true})
-	}
+	db.maybeEmitMarkerLocked()
 	db.walMu.Unlock()
-	if db.durable != nil {
-		db.durable.Append(wal.Record{Seq: seq, SafeSnapshot: true})
-	}
 }
 
 // Savepoint establishes a savepoint with the given name, starting a new

@@ -1,0 +1,155 @@
+package pgssi_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pgssi"
+	"pgssi/internal/wal"
+)
+
+// TestWALCommitRecordOrdering hammers concurrent committers and aborters
+// and then audits the in-memory log against the ordering invariants the
+// replica's resume contract depends on (Stream.SubscribeFrom filters by
+// sequence, so any out-of-order append becomes a silently dropped commit
+// after a reconnect):
+//
+//   - commit records appear in strictly increasing sequence order;
+//   - a safe-snapshot marker is never appended below a commit record
+//     already in the log, and marker sequences never regress;
+//   - a commit record appended after a marker carries a higher sequence
+//     (the marker really did cover everything before it).
+func TestWALCommitRecordOrdering(t *testing.T) {
+	walLog := wal.NewLog()
+	db := pgssi.Open(pgssi.Config{})
+	defer db.Close()
+	mustExec(t, db.CreateTable("kv"))
+	db.AttachWAL(walLog)
+
+	const writers, aborters, iters = 8, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				db.RunTx(pgssi.TxOptions{Isolation: pgssi.Serializable}, func(tx *pgssi.Tx) error {
+					return tx.Put("kv", fmt.Sprintf("w%d", w), []byte{byte(i)})
+				})
+			}
+		}(w)
+	}
+	// Aborters race the committers into the abort-path marker emission.
+	for a := 0; a < aborters; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tx, err := db.Begin(pgssi.TxOptions{Isolation: pgssi.Serializable})
+				if err != nil {
+					return
+				}
+				tx.Put("kv", fmt.Sprintf("doomed%d", a), []byte("x"))
+				tx.Rollback()
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	var lastCommit, lastMarker uint64
+	for i, rec := range walLog.Records() {
+		seq := uint64(rec.Seq)
+		if rec.SafeSnapshot {
+			if seq < lastCommit {
+				t.Fatalf("record %d: marker at seq %d below commit record seq %d already in the log", i, seq, lastCommit)
+			}
+			if seq < lastMarker {
+				t.Fatalf("record %d: marker sequence regressed %d -> %d", i, lastMarker, seq)
+			}
+			lastMarker = seq
+		} else {
+			if seq <= lastCommit {
+				t.Fatalf("record %d: commit seq %d appended after commit seq %d", i, seq, lastCommit)
+			}
+			if seq <= lastMarker {
+				t.Fatalf("record %d: commit seq %d appended after a marker at seq %d claimed to cover it", i, seq, lastMarker)
+			}
+			lastCommit = seq
+		}
+	}
+}
+
+// TestReplicaRejectsStaleMarker pins the replica-side defense for safe
+// snapshots: a marker whose sequence is below an applied commit (or a
+// previous safe point) must not declare the current position safe and
+// must not regress SafeSeq — only a marker at or past everything applied
+// certifies a safe snapshot.
+func TestReplicaRejectsStaleMarker(t *testing.T) {
+	log := wal.NewLog()
+	rep, err := pgssi.NewReplica(log, []string{"kv"})
+	mustExec(t, err)
+	defer rep.Close()
+
+	log.Append(wal.Record{Seq: 1, Xid: 1, Ops: []wal.Op{{Table: "kv", Key: "a", Value: []byte("1")}}})
+	log.Append(wal.Record{Seq: 2, Xid: 2, Ops: []wal.Op{{Table: "kv", Key: "b", Value: []byte("2")}}})
+	log.Append(wal.Record{Seq: 1, SafeSnapshot: true}) // stale: below commit 2
+	mustExec(t, rep.WaitApplied(3))
+	if rep.SafeSeq() != 0 {
+		t.Fatalf("stale marker set SafeSeq=%d, want 0", rep.SafeSeq())
+	}
+	if _, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true}); !errors.Is(err, pgssi.ErrNotSafePoint) {
+		t.Fatalf("serializable begin at a stale marker = %v, want ErrNotSafePoint", err)
+	}
+
+	// A marker at the applied position is honored.
+	log.Append(wal.Record{Seq: 2, SafeSnapshot: true})
+	mustExec(t, rep.WaitApplied(4))
+	if rep.SafeSeq() != 2 {
+		t.Fatalf("SafeSeq=%d after current marker, want 2", rep.SafeSeq())
+	}
+	tx, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true})
+	mustExec(t, err)
+	if !tx.OnSafeSnapshot() {
+		t.Fatal("serializable replica read not on a safe snapshot")
+	}
+	mustExec(t, tx.Rollback())
+
+	// A later stale marker must not regress the safe position.
+	log.Append(wal.Record{Seq: 1, SafeSnapshot: true})
+	mustExec(t, rep.WaitApplied(5))
+	if rep.SafeSeq() != 2 {
+		t.Fatalf("stale marker regressed SafeSeq to %d, want 2", rep.SafeSeq())
+	}
+}
+
+// TestReplicaMarkerDoesNotAdvanceResume pins the resume-position rule:
+// markers (and schema records) may legitimately carry sequences ahead of
+// the last commit record — read-only commits consume sequence numbers
+// without emitting records — so only commit records may advance
+// AppliedSeq. If the marker below advanced it to 3, a reconnect would
+// call SubscribeFrom(3) and permanently filter out commits 2 and 3
+// should they exist. The marker is still a valid safe point.
+func TestReplicaMarkerDoesNotAdvanceResume(t *testing.T) {
+	log := wal.NewLog()
+	rep, err := pgssi.NewReplica(log, []string{"kv"})
+	mustExec(t, err)
+	defer rep.Close()
+
+	log.Append(wal.Record{Seq: 1, Xid: 1, Ops: []wal.Op{{Table: "kv", Key: "a", Value: []byte("1")}}})
+	log.Append(wal.Record{Seq: 3, SafeSnapshot: true})
+	mustExec(t, rep.WaitApplied(2))
+	if rep.AppliedSeq() != 1 {
+		t.Fatalf("AppliedSeq=%d, want 1: only commit records may advance the resume position", rep.AppliedSeq())
+	}
+	if rep.SafeSeq() != 3 {
+		t.Fatalf("SafeSeq=%d, want 3", rep.SafeSeq())
+	}
+	tx, err := rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true})
+	mustExec(t, err)
+	defer tx.Rollback()
+	if !tx.OnSafeSnapshot() {
+		t.Fatal("marker ahead of the last commit record should still be a safe snapshot")
+	}
+}
