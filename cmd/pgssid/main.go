@@ -46,6 +46,7 @@ func main() {
 		partitions   = flag.Int("partitions", 0, "SIREAD lock table partitions (0 = default)")
 		dataDir      = flag.String("data", "", "data directory for the durable WAL (empty = in-memory, nothing survives restart)")
 		fsyncMode    = flag.String("fsync", "batch", "fsync mode with -data: always, batch, or off")
+		ckptEvery    = flag.Int64("checkpoint-every", 0, "with -data: checkpoint and GC the WAL every this many bytes of log growth (0 = never)")
 		replFrom     = flag.String("replicate-from", "", "primary's address: run as a read-only replica of it (schema and data arrive via the stream)")
 	)
 	flag.Parse()
@@ -92,6 +93,9 @@ func main() {
 		os.Exit(0)
 	}
 
+	if *ckptEvery > 0 && *dataDir == "" {
+		log.Fatal("-checkpoint-every requires -data: only the durable WAL checkpoints")
+	}
 	cfg := pgssi.Config{Partitions: *partitions}
 	var db *pgssi.DB
 	if *dataDir != "" {
@@ -100,6 +104,7 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.FsyncMode = mode
+		cfg.CheckpointEvery = *ckptEvery
 		start := time.Now()
 		db, err = pgssi.OpenDir(*dataDir, cfg)
 		if err != nil {

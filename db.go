@@ -234,6 +234,11 @@ type Config struct {
 	// filesystem. Test-only: the fault-injection suites inject a
 	// wal.FaultFS here.
 	WALFS wal.FS
+	// CheckpointEvery, if positive, checkpoints the durable WAL (and
+	// GCs fully-covered segments) roughly every CheckpointEvery bytes of
+	// log growth, at the next safe-snapshot point after the threshold is
+	// crossed. Zero means checkpoints happen only via DB.Checkpoint.
+	CheckpointEvery int64
 }
 
 // FsyncMode re-exports wal.FsyncMode for Config.
@@ -353,6 +358,29 @@ type DB struct {
 	// xid. See recovery.go.
 	durable    *wal.DurableLog
 	walPending sync.Map
+
+	// recoveredRecords is the OpenDir recovery count: checkpoint records
+	// plus the replayed log suffix. Written once before the DB accepts
+	// traffic.
+	recoveredRecords int
+
+	// Checkpoint trigger state (see checkpoint.go). ckptMu guards the
+	// waiter list, the single-flight flag, and the last-checkpoint
+	// watermarks. Lock order: walMu → ckptMu → wal log locks (the
+	// trigger runs inside the marker path and reads durable.Stats under
+	// it); it is never held across checkpoint I/O — the checkpoint
+	// itself is written by a background goroutine (runCheckpoint).
+	ckptMu        sync.Mutex
+	ckptWaiters   []chan ckptResult
+	ckptRunning   bool
+	ckptLastSeq   uint64
+	ckptLastBytes int64
+}
+
+// ckptResult resolves a DB.Checkpoint waiter.
+type ckptResult struct {
+	info wal.CheckpointInfo
+	err  error
 }
 
 // Open creates an empty database.
@@ -595,9 +623,14 @@ func (db *DB) Close() error {
 	// Flush and close the durable WAL: the final flush syncs even in
 	// FsyncOff mode, so a cleanly closed database is durable regardless
 	// of fsync policy. Commits still in flight past this point fail
-	// their durability wait with wal.ErrClosed.
+	// their durability wait with wal.ErrClosed. Parked DB.Checkpoint
+	// waiters are failed too — a closed database will never reach
+	// another quiescent instant to serve them (an in-flight checkpoint
+	// writer resolves against the closing log on its own).
 	if db.durable != nil {
-		return db.durable.Close()
+		err := db.durable.Close()
+		db.failCheckpointWaiters(ErrClosed)
+		return err
 	}
 	return nil
 }

@@ -121,17 +121,16 @@ func TestCreateTableUndoneOnWALFailure(t *testing.T) {
 	if strings.Contains(err.Error(), "already exists") {
 		t.Fatalf("wrong error: %v", err)
 	}
-	// The non-durable table must not linger in memory...
-	tx, terr := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead})
-	if terr != nil {
-		t.Fatal(terr)
+	// The poisoned log refuses new transactions outright — nothing it
+	// admits could ever durably commit.
+	if _, terr := db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead}); !errors.Is(terr, pgssi.ErrWALPoisoned) {
+		t.Fatalf("Begin on poisoned WAL = %v, want ErrWALPoisoned", terr)
 	}
-	defer tx.Rollback()
-	if _, gerr := tx.Get("b", "k"); !errors.Is(gerr, pgssi.ErrNoTable) {
-		t.Fatalf("failed CreateTable left table in memory: %v", gerr)
+	if !db.WALStats().Poisoned {
+		t.Fatal("WALStats().Poisoned = false on a poisoned log")
 	}
-	// ...and a retry must report the real (sticky) failure, not a lying
-	// "already exists".
+	// The non-durable table must not linger in memory: a retry must
+	// report the real (sticky) failure, not a lying "already exists".
 	if err := db.CreateTable("b"); err == nil || strings.Contains(err.Error(), "already exists") {
 		t.Fatalf("retry after failed CreateTable: %v", err)
 	}

@@ -46,6 +46,11 @@ var (
 	// failure, so IsSerializationFailure still reports true — the
 	// caller may apply its own, slower retry policy.
 	ErrRetriesExhausted = errors.New("pgssi: transaction retries exhausted")
+	// ErrWALPoisoned reports that the durable WAL has taken a sticky
+	// flush failure: no commit can be made durable until the directory
+	// is reopened, so Begin refuses new transactions with this error
+	// rather than letting them run toward a guaranteed-failing commit.
+	ErrWALPoisoned = errors.New("pgssi: durable WAL poisoned, durability lost")
 )
 
 // IsSerializationFailure reports whether err is a retryable concurrency

@@ -106,6 +106,87 @@ func runCrashHistory(t *testing.T, seed uint64) {
 		seed, recovered, len(acked), ackedSummary(acked))
 }
 
+// TestFuzzCrashRecoveryCheckpointTorn drives the crash point INTO the
+// checkpoint itself: each seeded history runs to completion on an
+// honest disk (every acknowledged commit is truly durable), then the
+// disk starts lying partway into the checkpoint — after a seeded number
+// of fsyncs, landing the "power loss" before the checkpoint file is
+// durable, between it and the manifest, or during segment GC. Whatever
+// the stage, reopening must recover EXACTLY the full fold of the
+// acknowledged commits: a checkpoint may be lost wholesale (it was
+// never acknowledged), but it must never take a durable commit with it
+// — GC'd segments whose removal never hit the platter must come back.
+func TestFuzzCrashRecoveryCheckpointTorn(t *testing.T) {
+	histories := 60
+	if testing.Short() {
+		histories = 15
+	}
+	if *slowFuzz {
+		histories = 1500
+	}
+	for seed := 1; seed <= histories; seed++ {
+		runCheckpointCrashHistory(t, uint64(seed))
+	}
+}
+
+func runCheckpointCrashHistory(t *testing.T, seed uint64) {
+	t.Helper()
+	dir := t.TempDir()
+	ffs := wal.NewFaultFS()
+	db, err := pgssi.OpenDir(dir, pgssi.Config{
+		WALFS:          ffs,
+		FsyncMode:      pgssi.FsyncAlways,
+		WALSegmentSize: 512, // several rotations per history: the GC set is non-empty
+	})
+	if err != nil {
+		t.Fatalf("seed %d: open: %v", seed, err)
+	}
+	if err := db.CreateTable("t"); err != nil {
+		t.Fatalf("seed %d: create table: %v", seed, err)
+	}
+	var acked []ackedCommit
+	_, cyc := runFuzzHistoryOn(t, seed, pgssi.Serializable, db, &acked)
+	if cyc != nil {
+		t.Fatalf("seed %d: committed SSI execution has dependency cycle %v", seed, cyc)
+	}
+
+	// Everything acknowledged so far is durable. Now the disk lies: the
+	// next 0..6 fsyncs succeed, every later one is silently dropped —
+	// WriteCheckpoint takes roughly that many (checkpoint file, its dir
+	// entry, the barrier, the manifest, the GC dir sync), so the crash
+	// point sweeps the whole checkpoint protocol across seeds.
+	crashRng := rand.New(rand.NewPCG(seed, 0x5eed))
+	ffs.DropSyncsAfter(crashRng.IntN(7))
+	if _, err := db.Checkpoint(); err != nil && db.CurrentSeq() > 0 {
+		t.Fatalf("seed %d: checkpoint: %v", seed, err)
+	}
+	if err := ffs.Crash(); err != nil {
+		t.Fatalf("seed %d: crash: %v", seed, err)
+	}
+	// The dead process's DB is abandoned — no Close, like a kill.
+
+	re, err := pgssi.OpenDir(dir, pgssi.Config{})
+	if err != nil {
+		t.Fatalf("seed %d: recovery: %v", seed, err)
+	}
+	defer re.Close()
+	recovered := readFuzzState(t, re)
+
+	// Unlike the lying-mid-history fuzzer, every commit here was durably
+	// acknowledged before the disk started lying, so the oracle is the
+	// FULL fold, not just some prefix.
+	state := map[string]string{}
+	for _, c := range acked {
+		for k, v := range c.writes {
+			state[k] = v
+		}
+	}
+	if !matchesFuzzState(recovered, state) {
+		t.Fatalf("seed %d: torn checkpoint lost durable commits: recovered %v, want fold of all %d acked commits %v",
+			seed, recovered, len(acked), ackedSummary(acked))
+	}
+}
+
 // readFuzzState reads every fuzz key from the recovered database; a
 // missing table reads as the empty state.
 func readFuzzState(t *testing.T, db *pgssi.DB) map[string]string {

@@ -644,6 +644,20 @@ func (m *Manager) CurrentSeq() SeqNo {
 	return SeqNo(m.assignedSeq.Load())
 }
 
+// AdvanceSeq raises the commit-sequence counter to at least seq.
+// Recovery calls it after replaying a log whose records carry sequence
+// numbers the fresh Manager has never assigned — without it, new commits
+// would reuse recovered CSNs and corrupt snapshot visibility. Safe to
+// call concurrently with commits; the counter never moves backwards.
+func (m *Manager) AdvanceSeq(seq SeqNo) {
+	for {
+		cur := m.assignedSeq.Load()
+		if cur >= uint64(seq) || m.assignedSeq.CompareAndSwap(cur, uint64(seq)) {
+			return
+		}
+	}
+}
+
 // NextXID returns the next transaction ID that will be assigned.
 func (m *Manager) NextXID() TxID {
 	return TxID(m.lastXID.Load()) + 1

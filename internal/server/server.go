@@ -229,6 +229,13 @@ func (s *Server) serveConn(c *conn) {
 			s.serveReplication(c, req.AfterSeq, out)
 			return
 		}
+		if derr == nil && req.Op == wire.OpFetchCheckpoint {
+			// FetchCheckpoint hijacks the connection the same way: one
+			// response frame, then the checkpoint's record frames ending
+			// with a safe-snapshot terminator, then the connection closes.
+			s.serveCheckpoint(c, out)
+			return
+		}
 		var resp wire.Response
 		fatal := false
 		if derr != nil {
@@ -282,6 +289,27 @@ func (s *Server) serveReplication(c *conn, afterSeq uint64, out []byte) {
 		respond(wire.Response{Status: pgssi.StatusNoReplication})
 		return
 	}
+	// Subscribe before acknowledging: a resume position below the log's
+	// checkpoint GC floor is refused with StatusSeqTruncated — the
+	// records are gone, and the replica must fetch a checkpoint instead
+	// of waiting for a gap that can never fill.
+	var ch <-chan wal.Record
+	var cancel func()
+	if cs, ok := stream.(wal.CheckedStream); ok {
+		var serr error
+		ch, cancel, serr = cs.SubscribeFromChecked(mvcc.SeqNo(afterSeq))
+		if serr != nil {
+			st := pgssi.StatusInternal
+			if errors.Is(serr, wal.ErrSeqTruncated) {
+				st = pgssi.StatusSeqTruncated
+			}
+			respond(wire.Response{Status: st})
+			return
+		}
+	} else {
+		ch, cancel = stream.SubscribeFrom(mvcc.SeqNo(afterSeq))
+	}
+	defer cancel()
 	if !respond(wire.Response{Status: pgssi.StatusOK}) {
 		return
 	}
@@ -301,9 +329,6 @@ func (s *Server) serveReplication(c *conn, afterSeq uint64, out []byte) {
 		c.Conn.Read(b[:])
 		close(gone)
 	}()
-
-	ch, cancel := stream.SubscribeFrom(mvcc.SeqNo(afterSeq))
-	defer cancel()
 	for {
 		var rec wal.Record
 		var ok bool
@@ -328,6 +353,68 @@ func (s *Server) serveReplication(c *conn, afterSeq uint64, out []byte) {
 		if err := wire.WriteFrame(c.Conn, body); err != nil {
 			return
 		}
+	}
+}
+
+// serveCheckpoint streams the primary's newest checkpoint over c: one
+// StatusOK response, then each checkpoint record as a frame carrying the
+// record body, terminated by a safe-snapshot marker frame whose sequence
+// is the checkpoint sequence (the client resumes replication from it). A
+// client that sees the stream end without the terminator must treat the
+// checkpoint as torn and retry. StatusNotFound reports that the primary
+// has never checkpointed; StatusNoReplication that it emits no WAL
+// stream at all (replica mode, or no checkpoint-capable log).
+func (s *Server) serveCheckpoint(c *conn, out []byte) {
+	var stream wal.Stream
+	if s.db != nil {
+		stream = s.db.WALStream()
+	}
+	respond := func(resp wire.Response) bool {
+		if s.cfg.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		out = wire.AppendResponse(out[:0], &resp)
+		return wire.WriteFrame(c.Conn, out) == nil
+	}
+	cs, ok := stream.(wal.CheckpointSource)
+	if stream == nil || !ok {
+		respond(wire.Response{Status: pgssi.StatusNoReplication})
+		return
+	}
+	// Probe before acknowledging, so "no checkpoint yet" is a clean
+	// status instead of a torn stream. Checkpoints only ever advance, so
+	// a positive probe cannot race to nothing below.
+	if ci, ok := cs.(interface {
+		CheckpointInfo() (wal.CheckpointInfo, bool)
+	}); ok {
+		if _, have := ci.CheckpointInfo(); !have {
+			respond(wire.Response{Status: pgssi.StatusNotFound})
+			return
+		}
+	}
+	if !respond(wire.Response{Status: pgssi.StatusOK}) {
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	writeRec := func(rec wal.Record) error {
+		body, err := wal.EncodeRecordBody(rec)
+		if err != nil {
+			return err
+		}
+		if s.cfg.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		return wire.WriteFrame(c.Conn, body)
+	}
+	info, err := cs.ReplayCheckpoint(writeRec)
+	if err != nil {
+		// Read failure on the checkpoint file or a dead connection: drop
+		// without the terminator; the client discards the torn seed.
+		s.cfg.Logf("server: checkpoint stream: %v", err)
+		return
+	}
+	if err := writeRec(wal.Record{Seq: info.Seq, SafeSnapshot: true}); err != nil {
+		s.cfg.Logf("server: checkpoint terminator: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"pgssi"
+	"pgssi/internal/mvcc"
 	"pgssi/internal/wal"
 	"pgssi/internal/wire"
 )
@@ -29,6 +31,7 @@ var replicationSoak = flag.Duration("replication-soak", 1500*time.Millisecond,
 type severableProxy struct {
 	l      net.Listener
 	target string
+	refuse atomic.Bool // accepted connections are closed immediately
 	mu     sync.Mutex
 	conns  []net.Conn
 }
@@ -45,6 +48,10 @@ func newSeverableProxy(t *testing.T, target string) *severableProxy {
 			in, err := l.Accept()
 			if err != nil {
 				return
+			}
+			if p.refuse.Load() {
+				in.Close()
+				continue
 			}
 			out, err := net.Dial("tcp", target)
 			if err != nil {
@@ -276,6 +283,111 @@ func TestReplicationSoak(t *testing.T) {
 	}
 	t.Logf("soak: %d records at seq %d, reads %d/%d, primary rows %d",
 		walLog.Len(), want, reads[0].Load(), reads[1].Load(), len(wantRows))
+}
+
+// TestReplicationReseedAfterGC is the truncation edge of the soak: a
+// streaming replica is partitioned, the primary checkpoints and GCs the
+// WAL segments the replica still needs, and on reconnect the resume
+// position falls below the GC floor. The primary must answer with the
+// truncated-resume status (never a silent gap), and the replica must
+// re-seed itself from a fetched checkpoint and converge row for row.
+func TestReplicationReseedAfterGC(t *testing.T) {
+	dir := t.TempDir()
+	db, err := pgssi.OpenDir(dir, pgssi.Config{
+		FsyncMode:      pgssi.FsyncBatch,
+		WALSegmentSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable("acct"); err != nil {
+		t.Fatal(err)
+	}
+	put := func(key, val string) {
+		t.Helper()
+		err := db.RunTx(pgssi.TxOptions{Isolation: pgssi.RepeatableRead}, func(tx *pgssi.Tx) error {
+			return tx.Put("acct", key, []byte(val))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		put(fmt.Sprintf("k%03d", i), "before-partition")
+	}
+
+	srv, _ := startServer(t, db, Config{})
+	defer srv.Shutdown()
+	proxy := newSeverableProxy(t, srv.addr)
+	defer proxy.Close()
+
+	rep, err := pgssi.NewReplica(&wire.ReplicaSource{Addr: proxy.l.Addr().String(), DialTimeout: 5 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	waitFor(t, 10*time.Second, func() bool {
+		return rep.AppliedSeq() == uint64(db.CurrentSeq())
+	}, "replica to catch up before the partition")
+
+	// Partition the replica, then move the primary far enough that a
+	// checkpoint GCs every segment holding the replica's resume position.
+	proxy.refuse.Store(true)
+	proxy.sever()
+	behind := rep.AppliedSeq()
+	for i := 0; i < 80; i++ {
+		put(fmt.Sprintf("k%03d", i%60), "after-partition")
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.WALStats()
+	if st.GCFloorSeq <= behind {
+		t.Fatalf("GC floor %d did not pass the replica's position %d: the reseed path won't trigger", st.GCFloorSeq, behind)
+	}
+
+	// A direct resume below the floor must be refused loudly.
+	direct := &wire.ReplicaSource{Addr: srv.addr, DialTimeout: 5 * time.Second}
+	if _, _, err := direct.SubscribeFromChecked(mvcc.SeqNo(behind)); !errors.Is(err, wal.ErrSeqTruncated) {
+		t.Fatalf("SubscribeFromChecked below the floor = %v, want wal.ErrSeqTruncated", err)
+	}
+
+	// Heal the network: the replica's next resume attempt sees the
+	// truncation, fetches the checkpoint, and follows the live stream.
+	proxy.refuse.Store(false)
+	waitFor(t, 15*time.Second, func() bool {
+		return rep.Err() == nil && rep.AppliedSeq() == uint64(db.CurrentSeq())
+	}, "replica to re-seed from the checkpoint and converge")
+	if rep.Err() != nil {
+		t.Fatalf("replica halted instead of re-seeding: %v", rep.Err())
+	}
+	if rep.AppliedSeq() < st.CheckpointSeq {
+		t.Fatalf("replica applied seq %d below the checkpoint %d it should have seeded from", rep.AppliedSeq(), st.CheckpointSeq)
+	}
+
+	// And it still follows live commits after the swap.
+	for i := 0; i < 10; i++ {
+		put(fmt.Sprintf("live%d", i), "after-reseed")
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return rep.AppliedSeq() == uint64(db.CurrentSeq()) && rep.SafeSeq() == uint64(db.CurrentSeq())
+	}, "replica to follow the live stream past the reseed")
+
+	wantRows := tableDump(t, func() (*pgssi.Tx, error) {
+		return db.Begin(pgssi.TxOptions{Isolation: pgssi.RepeatableRead, ReadOnly: true})
+	})
+	got := tableDump(t, func() (*pgssi.Tx, error) {
+		return rep.BeginReadOnly(pgssi.ReplicaTxOptions{Serializable: true, WaitSafe: true})
+	})
+	if len(got) != len(wantRows) {
+		t.Fatalf("reseeded replica has %d rows, primary %d", len(got), len(wantRows))
+	}
+	for k, v := range wantRows {
+		if got[k] != v {
+			t.Fatalf("reseeded replica diverged at %q: %q vs primary's %q", k, got[k], v)
+		}
+	}
 }
 
 func readInt(tx *pgssi.Tx, key string) (int, error) {

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgssi/internal/mvcc"
@@ -137,21 +138,29 @@ func (p *Pending) Wait() error { return p.ticket.Wait() }
 
 // queued is one record in the flush queue: its encoded frame (what the
 // flusher writes), its decoded form (what subscribers receive), and the
-// ticket to resolve when its batch is on disk.
+// ticket to resolve when its batch is on disk. A barrier entry carries
+// no record: it writes nothing, but its ticket resolves only after the
+// batch covering everything enqueued before it is on disk
+// (SyncBarrier).
 type queued struct {
-	frame  []byte
-	rec    Record
-	ticket *Ticket
+	frame   []byte
+	rec     Record
+	ticket  *Ticket
+	barrier bool
 }
 
 // segMeta describes one segment file. size is the published length in
 // bytes (header included): everything at or below it has been fully
 // written by a completed flush, so concurrent readers may read up to it
-// while the flusher appends beyond.
+// while the flusher appends beyond. lastSeq is the highest record
+// sequence in the segment; for sealed segments it is exact (published
+// at rotation), for the current segment it trails the flush and is
+// never used (GC only considers sealed segments).
 type segMeta struct {
-	index uint64
-	path  string
-	size  int64
+	index   uint64
+	path    string
+	size    int64
+	lastSeq uint64
 }
 
 // DurableLog is a WAL persisted to segment files. See the package
@@ -173,11 +182,31 @@ type DurableLog struct {
 	stats     Stats
 	recovered int
 
+	// Checkpoint state, under mu. floorSeq is the GC floor: every
+	// record with sequence at or below it has been (or may have been)
+	// garbage-collected; SubscribeFrom below it must not pretend to
+	// resume. ckptPath/ckptSeq/ckptRecords describe the newest complete
+	// checkpoint.
+	floorSeq    uint64
+	ckptSeq     uint64
+	ckptPath    string
+	ckptRecords int
+
+	// Recovery high-water marks, set once by OpenDir (the engine seeds
+	// its sequence counters from them before accepting traffic).
+	recoveredMaxSeq    uint64
+	recoveredMarkerSeq uint64
+
+	// poisonedFlag mirrors flushErr != nil without taking mu, so the
+	// engine can refuse Begin on a poisoned log cheaply.
+	poisonedFlag atomic.Bool
+
 	// Flusher-private state, guarded by flushing (or by mu once Close
 	// has observed flushing == false).
 	cur        File
 	curIndex   uint64
 	curSize    int64
+	curLastSeq uint64
 	filled     []segMeta // segments rotated away during the current batch
 	batchBytes int64
 	batchSyncs int64
@@ -191,6 +220,16 @@ type Stats struct {
 	Fsyncs       int64
 	Segments     int
 	BytesWritten int64
+	// Poisoned reports a sticky flush failure: no further append can
+	// succeed until the directory is reopened.
+	Poisoned bool
+	// Checkpoints and SegmentsGCed count completed checkpoints and the
+	// segments they removed; CheckpointSeq and GCFloorSeq are the
+	// newest checkpoint's sequence and the current GC floor.
+	Checkpoints   int64
+	SegmentsGCed  int64
+	CheckpointSeq uint64
+	GCFloorSeq    uint64
 }
 
 // OpenDir opens (creating if necessary) the WAL in dir and recovers it:
@@ -224,12 +263,48 @@ func OpenDir(dir string, cfg Config) (*DurableLog, error) {
 		name  string
 	}
 	var cands []cand
+	var ckpts []cand // checkpoint files, keyed by their seq
 	for _, n := range names {
 		if idx, ok := parseSegName(n); ok {
 			cands = append(cands, cand{idx, n})
+		} else if seq, ok := parseCkptName(n); ok {
+			ckpts = append(ckpts, cand{seq, n})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].index < cands[j].index })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i].index < ckpts[j].index })
+
+	// Choose the newest COMPLETE checkpoint (torn ones are discarded
+	// like torn records, older ones are superseded); the manifest, when
+	// intact, just confirms the choice — the checkpoint file's own
+	// footer is the source of truth, because the manifest is only
+	// written after the file is durable and may itself be torn by a
+	// crash mid-GC.
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		c := ckpts[i]
+		path := filepath.Join(dir, c.name)
+		if l.ckptPath == "" {
+			if n, complete := scanCheckpoint(l.fs, path, c.index); complete {
+				l.ckptSeq, l.ckptPath, l.ckptRecords = c.index, path, n
+				continue
+			}
+		}
+		if err := l.fs.Remove(path); err != nil {
+			return nil, fmt.Errorf("wal: removing stale checkpoint %s: %w", c.name, err)
+		}
+	}
+	// The GC floor after a restart is the checkpoint sequence itself:
+	// precise per-segment floors do not survive the process, and any
+	// resume at or below the checkpoint can be answered from the
+	// checkpoint anyway. (The manifest's floor field records what GC
+	// actually removed, for diagnostics; correctness never trusts a
+	// floor LOWER than what might be missing.)
+	if l.ckptPath != "" {
+		l.floorSeq = l.ckptSeq
+		l.recoveredMaxSeq = l.ckptSeq
+		// The checkpoint sits on a safe-snapshot marker by construction.
+		l.recoveredMarkerSeq = l.ckptSeq
+	}
 
 	damaged := false
 	for i, c := range cands {
@@ -244,11 +319,10 @@ func OpenDir(dir string, cfg Config) (*DurableLog, error) {
 			}
 			continue
 		}
-		good, nrecs, segDamaged, err := l.scanSegment(path, c.index)
+		good, lastSeq, segDamaged, err := l.scanSegment(path, c.index)
 		if err != nil {
 			return nil, err
 		}
-		l.recovered += nrecs
 		if segDamaged {
 			damaged = true
 			if good <= segmentHeaderSize {
@@ -262,23 +336,31 @@ func OpenDir(dir string, cfg Config) (*DurableLog, error) {
 				return nil, fmt.Errorf("wal: truncating damaged segment %s: %w", c.name, err)
 			}
 		}
-		l.segs = append(l.segs, segMeta{index: c.index, path: path, size: good})
+		l.segs = append(l.segs, segMeta{index: c.index, path: path, size: good, lastSeq: lastSeq})
 	}
 
 	if len(l.segs) == 0 {
-		f, err := l.createSegment(1)
+		// Continue the index sequence past every segment file seen on
+		// disk (even damaged ones recovery removed): reusing an index
+		// could collide with a removed segment whose directory entry
+		// resurfaces after a power loss.
+		idx := uint64(1)
+		if len(cands) > 0 {
+			idx = cands[len(cands)-1].index + 1
+		}
+		f, err := l.createSegment(idx)
 		if err != nil {
 			return nil, err
 		}
-		l.cur, l.curIndex, l.curSize = f, 1, segmentHeaderSize
-		l.segs = append(l.segs, segMeta{index: 1, path: l.segPath(1), size: segmentHeaderSize})
+		l.cur, l.curIndex, l.curSize, l.curLastSeq = f, idx, segmentHeaderSize, l.recoveredMaxSeq
+		l.segs = append(l.segs, segMeta{index: idx, path: l.segPath(idx), size: segmentHeaderSize, lastSeq: l.recoveredMaxSeq})
 	} else {
 		last := l.segs[len(l.segs)-1]
 		f, err := l.fs.OpenAppend(last.path)
 		if err != nil {
 			return nil, err
 		}
-		l.cur, l.curIndex, l.curSize = f, last.index, last.size
+		l.cur, l.curIndex, l.curSize, l.curLastSeq = f, last.index, last.size, last.lastSeq
 	}
 	// Make the directory's metadata durable before accepting traffic:
 	// recovery may have removed or truncated segments, and a fresh open
@@ -345,11 +427,13 @@ func readSegHeader(r io.Reader, wantIndex uint64) error {
 
 // scanSegment validates one segment during recovery. It returns the
 // offset up to which the segment is intact (segmentHeaderSize or less
-// means nothing usable), how many records decode cleanly before the
+// means nothing usable), the highest record sequence seen before the
 // damage point, and whether any damage was found. Only failing to open
 // the file is a hard error: all content problems are damage, by design —
-// recovery must never panic or fail on a torn tail.
-func (l *DurableLog) scanSegment(path string, index uint64) (good int64, nrecs int, damaged bool, err error) {
+// recovery must never panic or fail on a torn tail. As a side effect it
+// accumulates the recovered-record count (records past the checkpoint,
+// the ones Replay will deliver) and the recovery high-water marks.
+func (l *DurableLog) scanSegment(path string, index uint64) (good int64, lastSeq uint64, damaged bool, err error) {
 	f, err := l.fs.Open(path)
 	if err != nil {
 		return 0, 0, false, err
@@ -363,17 +447,29 @@ func (l *DurableLog) scanSegment(path string, index uint64) (good int64, nrecs i
 	for {
 		body, err := readFrame(f, buf)
 		if err == io.EOF {
-			return good, nrecs, false, nil
+			return good, lastSeq, false, nil
 		}
 		if err != nil {
-			return good, nrecs, true, nil
+			return good, lastSeq, true, nil
 		}
-		if _, err := decodeRecord(body); err != nil {
-			return good, nrecs, true, nil
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return good, lastSeq, true, nil
 		}
 		good += int64(frameHeaderSize + len(body))
-		nrecs++
 		buf = body
+		if s := uint64(rec.Seq); s > lastSeq {
+			lastSeq = s
+		}
+		if s := uint64(rec.Seq); s > l.recoveredMaxSeq {
+			l.recoveredMaxSeq = s
+		}
+		if rec.SafeSnapshot && uint64(rec.Seq) > l.recoveredMarkerSeq {
+			l.recoveredMarkerSeq = uint64(rec.Seq)
+		}
+		if deliverFrom(rec, mvcc.SeqNo(l.ckptSeq)) {
+			l.recovered++
+		}
 	}
 }
 
@@ -411,22 +507,45 @@ func readSegmentRecords(fs FS, path string, index uint64, limit int64, fn func(R
 	}
 }
 
-// Replay streams every record that survived recovery through fn, in log
-// order. It must be called after OpenDir and before any appends.
+// Replay streams every record that survived recovery AND postdates the
+// recovered checkpoint through fn, in log order: commits strictly after
+// the checkpoint sequence, markers and schema records at or after it
+// (the same boundary rule as SubscribeFrom — the caller loads the
+// checkpoint itself via ReplayCheckpoint first). It must be called
+// after OpenDir and before any appends.
 func (l *DurableLog) Replay(fn func(Record) error) error {
 	l.mu.Lock()
 	segs := append([]segMeta(nil), l.segs...)
+	after := mvcc.SeqNo(l.ckptSeq)
 	l.mu.Unlock()
 	for _, s := range segs {
 		if s.size <= segmentHeaderSize {
 			continue
 		}
-		if err := readSegmentRecords(l.fs, s.path, s.index, s.size, fn); err != nil {
+		err := readSegmentRecords(l.fs, s.path, s.index, s.size, func(rec Record) error {
+			if !deliverFrom(rec, after) {
+				return nil
+			}
+			return fn(rec)
+		})
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// RecoveredMaxSeq is the highest record sequence recovery saw (the
+// checkpoint sequence counts); the engine seeds its commit-sequence
+// counter from it so post-recovery sequences never collide with
+// on-disk ones.
+func (l *DurableLog) RecoveredMaxSeq() uint64 { return l.recoveredMaxSeq }
+
+// RecoveredMarkerSeq is the highest safe-snapshot marker sequence
+// recovery saw (the checkpoint sequence counts: a checkpoint sits on a
+// marker); the engine seeds its marker high-water mark from it so
+// marker sequences in the stream never regress across a restart.
+func (l *DurableLog) RecoveredMarkerSeq() uint64 { return l.recoveredMarkerSeq }
 
 // PrepareRecord encodes rec into a Pending, ready for Enqueue. Safe to
 // call with rec.Seq unset: Enqueue stamps the final sequence number.
@@ -561,6 +680,7 @@ func (l *DurableLog) flushLoop() {
 		l.inflight = nil
 		if err != nil && l.flushErr == nil {
 			l.flushErr = err
+			l.poisonedFlag.Store(true)
 		}
 		l.stats.Flushes++
 		l.mu.Unlock()
@@ -584,6 +704,11 @@ func (l *DurableLog) writeBatch(batch []queued) error {
 	l.filled = l.filled[:0]
 	l.batchBytes, l.batchSyncs = 0, 0
 	for _, q := range batch {
+		if q.barrier {
+			// Barriers write nothing; their ticket resolves with the
+			// batch's fsync like any other entry.
+			continue
+		}
 		if l.curSize+int64(len(q.frame)) > l.cfg.SegmentSize && l.curSize > segmentHeaderSize {
 			if err := l.rotate(); err != nil {
 				return err
@@ -594,6 +719,9 @@ func (l *DurableLog) writeBatch(batch []queued) error {
 		l.batchBytes += int64(n)
 		if err != nil {
 			return err
+		}
+		if s := uint64(q.rec.Seq); s > l.curLastSeq {
+			l.curLastSeq = s
 		}
 	}
 	if l.cfg.Fsync != FsyncOff {
@@ -608,12 +736,16 @@ func (l *DurableLog) writeBatch(batch []queued) error {
 // publishSizesLocked exposes the regions writeBatch just wrote (filled
 // segments' final sizes plus the current segment's new size) to readers.
 // Caller holds l.mu and must clear l.inflight in the same critical
-// section.
+// section. Segments GC'd while the batch was in flight are simply no
+// longer in l.segs — a GC'd segment's records were all at or below a
+// checkpoint, so they predate this batch and there is nothing to
+// publish for them.
 func (l *DurableLog) publishSizesLocked() {
 	for _, fm := range l.filled {
 		for j := len(l.segs) - 1; j >= 0; j-- {
 			if l.segs[j].index == fm.index {
 				l.segs[j].size = fm.size
+				l.segs[j].lastSeq = fm.lastSeq
 				break
 			}
 		}
@@ -621,6 +753,7 @@ func (l *DurableLog) publishSizesLocked() {
 	for j := len(l.segs) - 1; j >= 0; j-- {
 		if l.segs[j].index == l.curIndex {
 			l.segs[j].size = l.curSize
+			l.segs[j].lastSeq = l.curLastSeq
 			break
 		}
 	}
@@ -638,7 +771,8 @@ func (l *DurableLog) rotate() error {
 	if err := l.cur.Close(); err != nil {
 		return err
 	}
-	l.filled = append(l.filled, segMeta{index: l.curIndex, size: l.curSize})
+	sealedIndex, sealedLastSeq := l.curIndex, l.curLastSeq
+	l.filled = append(l.filled, segMeta{index: sealedIndex, size: l.curSize, lastSeq: sealedLastSeq})
 	idx := l.curIndex + 1
 	f, err := l.createSegment(idx)
 	if err != nil {
@@ -657,7 +791,16 @@ func (l *DurableLog) rotate() error {
 		l.batchSyncs++
 	}
 	l.mu.Lock()
-	l.segs = append(l.segs, segMeta{index: idx, path: l.segPath(idx), size: segmentHeaderSize})
+	// Publish the sealed segment's exact lastSeq now (its size waits
+	// for the batch's publish, but checkpoint GC needs sealed lastSeq
+	// to be trustworthy the moment the segment stops growing).
+	for j := len(l.segs) - 1; j >= 0; j-- {
+		if l.segs[j].index == sealedIndex {
+			l.segs[j].lastSeq = sealedLastSeq
+			break
+		}
+	}
+	l.segs = append(l.segs, segMeta{index: idx, path: l.segPath(idx), size: segmentHeaderSize, lastSeq: sealedLastSeq})
 	l.mu.Unlock()
 	return nil
 }
@@ -684,19 +827,41 @@ func (l *DurableLog) Subscribe() (<-chan Record, func()) {
 
 // SubscribeFrom is Subscribe resuming from a commit-sequence position:
 // only records passing the Stream.SubscribeFrom filter are delivered,
-// both from the disk/in-memory backlog and from the live stream.
+// both from the disk/in-memory backlog and from the live stream. A
+// position below the GC floor cannot be resumed — the records are
+// gone; the channel is returned already closed (loud, never a silent
+// gap). Use SubscribeFromChecked to distinguish that from a closed log.
 func (l *DurableLog) SubscribeFrom(after mvcc.SeqNo) (<-chan Record, func()) {
+	ch, cancel, err := l.SubscribeFromChecked(after)
+	if err != nil {
+		closed := make(chan Record)
+		close(closed)
+		return closed, func() {}
+	}
+	return ch, cancel
+}
+
+// SubscribeFromChecked implements CheckedStream: SubscribeFrom that
+// reports ErrSeqTruncated when the resume position falls below the GC
+// floor, so the consumer can re-seed from a checkpoint instead of
+// mistaking truncation for a transient disconnect.
+func (l *DurableLog) SubscribeFromChecked(after mvcc.SeqNo) (<-chan Record, func(), error) {
 	ch := make(chan Record, subscriberBuffer)
 	l.mu.Lock()
+	if uint64(after) < l.floorSeq {
+		floor := l.floorSeq
+		l.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: resume after seq %d, GC floor %d", ErrSeqTruncated, after, floor)
+	}
 	segs := append([]segMeta(nil), l.segs...)
 	mem := make([]Record, 0, len(l.inflight)+len(l.pending))
 	for _, q := range l.inflight {
-		if deliverFrom(q.rec, after) {
+		if !q.barrier && deliverFrom(q.rec, after) {
 			mem = append(mem, q.rec)
 		}
 	}
 	for _, q := range l.pending {
-		if deliverFrom(q.rec, after) {
+		if !q.barrier && deliverFrom(q.rec, after) {
 			mem = append(mem, q.rec)
 		}
 	}
@@ -743,7 +908,45 @@ func (l *DurableLog) SubscribeFrom(after mvcc.SeqNo) (<-chan Record, func()) {
 		l.mu.Unlock()
 		close(done)
 	}
-	return out, cancel
+	return out, cancel, nil
+}
+
+// SyncBarrier blocks until everything enqueued before it is flushed and
+// fsynced (per the log's mode; FsyncOff waits for nothing), returning
+// the sticky flush error if the log is poisoned. Checkpointing uses it
+// to prove the log durable through the checkpoint sequence before any
+// segment is GC'd.
+func (l *DurableLog) SyncBarrier() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.flushErr; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.cfg.Fsync == FsyncOff {
+		l.mu.Unlock()
+		return nil
+	}
+	t := &Ticket{done: make(chan struct{})}
+	l.pending = append(l.pending, queued{barrier: true, ticket: t})
+	l.kickFlushLocked()
+	l.mu.Unlock()
+	return t.Wait()
+}
+
+// PoisonErr reports the sticky flush error once the log is poisoned
+// (nil otherwise). The fast path is one atomic load, so the engine can
+// check it on every Begin.
+func (l *DurableLog) PoisonErr() error {
+	if !l.poisonedFlag.Load() {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushErr
 }
 
 // Close drains the flush queue, syncs the current segment (even in
@@ -801,5 +1004,8 @@ func (l *DurableLog) Stats() Stats {
 	defer l.mu.Unlock()
 	s := l.stats
 	s.Segments = len(l.segs)
+	s.Poisoned = l.flushErr != nil
+	s.CheckpointSeq = l.ckptSeq
+	s.GCFloorSeq = l.floorSeq
 	return s
 }

@@ -112,6 +112,15 @@ type FaultFS struct {
 	// successful SyncDir: their directory entries are volatile and lost
 	// at Crash.
 	newEntries map[string]map[string]bool
+	// removed tracks, per directory, files removed since the last
+	// successful SyncDir, with their durable content (what the platter
+	// held: the fsynced prefix). An unlink is a directory mutation like
+	// a create: until the directory is fsynced, a power loss can leave
+	// the old entry — and the file's durable data — in place, so Crash
+	// restores these. Checkpoint GC's safety depends on this model:
+	// either the removal's covering SyncDir succeeded (and so did the
+	// checkpoint's, ordered before it), or the segments come back.
+	removed map[string]map[string][]byte
 	// allowSyncs is how many more fsyncs succeed before they are
 	// silently dropped; -1 means unlimited.
 	allowSyncs int64
@@ -125,6 +134,7 @@ func NewFaultFS() *FaultFS {
 		written:    make(map[string]int64),
 		synced:     make(map[string]int64),
 		newEntries: make(map[string]map[string]bool),
+		removed:    make(map[string]map[string][]byte),
 		allowSyncs: -1,
 	}
 }
@@ -177,6 +187,17 @@ func (f *FaultFS) Crash() error {
 		}
 		delete(f.newEntries, dir)
 	}
+	// Volatile unlinks come back: the directory holding them was never
+	// fsynced after the removal, so the old entry — and the file's
+	// durable content — survives the power loss.
+	for dir, ents := range f.removed {
+		for name, content := range ents {
+			if err := os.WriteFile(name, content, 0o644); err != nil {
+				return fmt.Errorf("wal: crash restore %s: %w", filepath.Base(name), err)
+			}
+		}
+		delete(f.removed, dir)
+	}
 	for name, written := range f.written {
 		synced := f.synced[name]
 		if synced < written {
@@ -208,6 +229,27 @@ func (f *FaultFS) Truncate(name string, size int64) error {
 }
 
 func (f *FaultFS) Remove(name string) error {
+	dir := filepath.Dir(name)
+	// Capture the file's durable content before unlinking: if the
+	// file's own directory entry was durable, the unlink is volatile
+	// until the next successful SyncDir, and Crash restores it. A file
+	// whose entry was never made durable (still in newEntries) would
+	// not have survived a crash anyway, so nothing is captured for it.
+	f.mu.Lock()
+	entryDurable := f.newEntries[dir] == nil || !f.newEntries[dir][name]
+	durableLen, tracked := f.synced[name]
+	f.mu.Unlock()
+	var content []byte
+	if entryDurable {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		if tracked && durableLen < int64(len(b)) {
+			b = b[:durableLen]
+		}
+		content = b
+	}
 	if err := (osFS{}).Remove(name); err != nil {
 		return err
 	}
@@ -215,8 +257,14 @@ func (f *FaultFS) Remove(name string) error {
 	defer f.mu.Unlock()
 	delete(f.written, name)
 	delete(f.synced, name)
-	if ents := f.newEntries[filepath.Dir(name)]; ents != nil {
+	if ents := f.newEntries[dir]; ents != nil {
 		delete(ents, name)
+	}
+	if entryDurable {
+		if f.removed[dir] == nil {
+			f.removed[dir] = make(map[string][]byte)
+		}
+		f.removed[dir][name] = content
 	}
 	return nil
 }
@@ -245,6 +293,7 @@ func (f *FaultFS) SyncDir(dir string) error {
 	}
 	f.mu.Lock()
 	delete(f.newEntries, dir)
+	delete(f.removed, dir)
 	f.mu.Unlock()
 	return nil
 }

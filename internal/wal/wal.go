@@ -28,6 +28,7 @@
 package wal
 
 import (
+	"errors"
 	"sync"
 
 	"pgssi/internal/mvcc"
@@ -91,6 +92,47 @@ type Stream interface {
 // implement it.
 type SourceErrorer interface {
 	PermanentErr() error
+}
+
+// ErrSeqTruncated reports a SubscribeFrom position that falls below the
+// log's GC floor: the records needed to resume from there were
+// garbage-collected by a checkpoint. A consumer must re-seed from a
+// checkpoint (CheckpointSource) instead of resuming — the gap is real
+// and can never be filled by waiting or retrying.
+var ErrSeqTruncated = errors.New("wal: position truncated by checkpoint GC")
+
+// ErrNoCheckpoint reports that a CheckpointSource has no checkpoint to
+// replay (the log has never checkpointed, or the primary serves none).
+var ErrNoCheckpoint = errors.New("wal: no checkpoint")
+
+// CheckedStream is a Stream whose history can be truncated by
+// checkpoint GC. SubscribeFromChecked is SubscribeFrom that reports
+// ErrSeqTruncated instead of delivering a silent gap when `after` falls
+// below the GC floor. Sources that implement it (DurableLog, wire's
+// ReplicaSource) let a replica distinguish "resume" from "must re-seed
+// from a checkpoint"; plain SubscribeFrom on the same source closes the
+// stream immediately in that case (loud, but indistinguishable from a
+// transient drop).
+type CheckedStream interface {
+	Stream
+	SubscribeFromChecked(after mvcc.SeqNo) (<-chan Record, func(), error)
+}
+
+// CheckpointInfo describes one checkpoint: the safe-snapshot commit
+// sequence it captures and how many data records (schema + row images)
+// it holds.
+type CheckpointInfo struct {
+	Seq     mvcc.SeqNo
+	Records int
+}
+
+// CheckpointSource is a source a consumer can seed a fresh database
+// from: ReplayCheckpoint streams the newest checkpoint's records
+// (schema records first, then row-image commit records, all stamped
+// with the checkpoint sequence) through fn and returns its info, or
+// ErrNoCheckpoint. After seeding, resume with SubscribeFrom(info.Seq).
+type CheckpointSource interface {
+	ReplayCheckpoint(fn func(Record) error) (CheckpointInfo, error)
 }
 
 // deliverFrom reports whether rec belongs in a subscription resuming

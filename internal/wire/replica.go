@@ -70,58 +70,32 @@ func (s *ReplicaSource) Subscribe() (<-chan wal.Record, func()) {
 // SubscribeFrom implements wal.Stream: it streams records after the
 // given commit sequence (per the Stream.SubscribeFrom filter contract,
 // which the master's log applies server-side). The cancel function
-// closes the connection, which ends the channel.
+// closes the connection, which ends the channel. Failures — including a
+// truncated resume position — just close the channel; use
+// SubscribeFromChecked to distinguish them.
 func (s *ReplicaSource) SubscribeFrom(after mvcc.SeqNo) (<-chan wal.Record, func()) {
+	ch, cancel, err := s.SubscribeFromChecked(after)
+	if err != nil {
+		out := make(chan wal.Record)
+		close(out)
+		return out, func() {}
+	}
+	return ch, cancel
+}
+
+// SubscribeFromChecked implements wal.CheckedStream: like SubscribeFrom,
+// but a handshake the primary answers with StatusSeqTruncated — the
+// resume position fell below its checkpoint GC floor — is reported as
+// wal.ErrSeqTruncated, so the consumer can re-seed from a checkpoint
+// (ReplayCheckpoint) instead of retrying a gap that can never fill.
+// Transient failures (dial, protocol) are returned as ordinary errors.
+func (s *ReplicaSource) SubscribeFromChecked(after mvcc.SeqNo) (<-chan wal.Record, func(), error) {
+	conn, br, err := s.handshake(&Request{Op: OpReplicate, AfterSeq: uint64(after)}, "replication subscribe")
+	if err != nil {
+		return nil, nil, err
+	}
+
 	out := make(chan wal.Record, 64)
-	var d net.Dialer
-	d.Timeout = s.DialTimeout
-	conn, err := d.Dial("tcp", s.Addr)
-	if err != nil {
-		s.logf("replication subscribe %s: %v", s.Addr, err)
-		close(out)
-		return out, func() {}
-	}
-
-	// Handshake: one OpReplicate request, one OK response, then the
-	// connection carries only record frames until either side closes.
-	if s.DialTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(s.DialTimeout))
-	}
-	req := AppendRequest(nil, &Request{Op: OpReplicate, AfterSeq: uint64(after)})
-	if err := WriteFrame(conn, req); err != nil {
-		s.logf("replication subscribe %s: handshake write: %v", s.Addr, err)
-		conn.Close()
-		close(out)
-		return out, func() {}
-	}
-	br := bufio.NewReader(conn)
-	body, err := ReadFrame(br, nil)
-	if err != nil {
-		s.logf("replication subscribe %s: handshake read: %v", s.Addr, err)
-		conn.Close()
-		close(out)
-		return out, func() {}
-	}
-	resp, err := DecodeResponse(body)
-	if err != nil || resp.Status != pgssi.StatusOK {
-		if err == nil && resp.Status == pgssi.StatusNoReplication {
-			// The primary exists and answered: it has no WAL stream.
-			// No amount of retrying changes that — record the refusal
-			// so the consumer can halt instead of spinning.
-			perr := fmt.Errorf("wire: primary %s refused replication: it emits no WAL stream", s.Addr)
-			s.mu.Lock()
-			s.permErr = perr
-			s.mu.Unlock()
-			s.logf("%v", perr)
-		} else {
-			s.logf("replication subscribe %s: handshake response: status=%v err=%v", s.Addr, resp.Status, err)
-		}
-		conn.Close()
-		close(out)
-		return out, func() {}
-	}
-	conn.SetDeadline(time.Time{})
-
 	done := make(chan struct{})
 	go func() {
 		defer close(out)
@@ -152,5 +126,101 @@ func (s *ReplicaSource) SubscribeFrom(after mvcc.SeqNo) (<-chan wal.Record, func
 			conn.Close()
 		})
 	}
-	return out, cancel
+	return out, cancel, nil
+}
+
+var _ wal.CheckedStream = (*ReplicaSource)(nil)
+var _ wal.CheckpointSource = (*ReplicaSource)(nil)
+
+// handshake dials the primary and issues one stream-hijacking request
+// (OpReplicate or OpFetchCheckpoint), returning the connection with its
+// deadline cleared once the primary acknowledged StatusOK. Refusals map
+// to the sentinel errors the consumer branches on: StatusNoReplication
+// is recorded as the permanent error, StatusSeqTruncated becomes
+// wal.ErrSeqTruncated, StatusNotFound becomes wal.ErrNoCheckpoint.
+func (s *ReplicaSource) handshake(req *Request, what string) (net.Conn, *bufio.Reader, error) {
+	var d net.Dialer
+	d.Timeout = s.DialTimeout
+	conn, err := d.Dial("tcp", s.Addr)
+	if err != nil {
+		s.logf("%s %s: %v", what, s.Addr, err)
+		return nil, nil, err
+	}
+	if s.DialTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.DialTimeout))
+	}
+	if err := WriteFrame(conn, AppendRequest(nil, req)); err != nil {
+		s.logf("%s %s: handshake write: %v", what, s.Addr, err)
+		conn.Close()
+		return nil, nil, err
+	}
+	br := bufio.NewReader(conn)
+	body, err := ReadFrame(br, nil)
+	if err != nil {
+		s.logf("%s %s: handshake read: %v", what, s.Addr, err)
+		conn.Close()
+		return nil, nil, err
+	}
+	resp, err := DecodeResponse(body)
+	if err != nil || resp.Status != pgssi.StatusOK {
+		conn.Close()
+		switch {
+		case err == nil && resp.Status == pgssi.StatusNoReplication:
+			// The primary exists and answered: it has no WAL stream.
+			// No amount of retrying changes that — record the refusal
+			// so the consumer can halt instead of spinning.
+			perr := fmt.Errorf("wire: primary %s refused replication: it emits no WAL stream", s.Addr)
+			s.mu.Lock()
+			s.permErr = perr
+			s.mu.Unlock()
+			s.logf("%v", perr)
+			return nil, nil, perr
+		case err == nil && resp.Status == pgssi.StatusSeqTruncated:
+			s.logf("%s %s: resume position truncated by checkpoint GC", what, s.Addr)
+			return nil, nil, fmt.Errorf("wire: primary %s: %w", s.Addr, wal.ErrSeqTruncated)
+		case err == nil && resp.Status == pgssi.StatusNotFound:
+			s.logf("%s %s: primary has no checkpoint", what, s.Addr)
+			return nil, nil, fmt.Errorf("wire: primary %s: %w", s.Addr, wal.ErrNoCheckpoint)
+		default:
+			s.logf("%s %s: handshake response: status=%v err=%v", what, s.Addr, resp.Status, err)
+			return nil, nil, fmt.Errorf("wire: %s %s: status=%v err=%v", what, s.Addr, resp.Status, err)
+		}
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, br, nil
+}
+
+// ReplayCheckpoint implements wal.CheckpointSource over the network: it
+// fetches the primary's newest checkpoint (OpFetchCheckpoint) and feeds
+// each record through fn. The stream is complete only when the
+// safe-snapshot terminator arrives (its sequence is the checkpoint
+// sequence); a connection that ends before it is a torn transfer and is
+// reported as an error, never as a short checkpoint.
+func (s *ReplicaSource) ReplayCheckpoint(fn func(wal.Record) error) (wal.CheckpointInfo, error) {
+	conn, br, err := s.handshake(&Request{Op: OpFetchCheckpoint}, "checkpoint fetch")
+	if err != nil {
+		return wal.CheckpointInfo{}, err
+	}
+	defer conn.Close()
+	var buf []byte
+	var info wal.CheckpointInfo
+	for {
+		body, err := ReadFrame(br, buf)
+		if err != nil {
+			return wal.CheckpointInfo{}, fmt.Errorf("wire: checkpoint stream from %s ended before terminator: %w", s.Addr, err)
+		}
+		rec, err := wal.DecodeRecordBody(body)
+		if err != nil {
+			return wal.CheckpointInfo{}, fmt.Errorf("wire: checkpoint stream from %s: %w", s.Addr, err)
+		}
+		buf = body[:0]
+		if rec.SafeSnapshot {
+			info.Seq = rec.Seq
+			return info, nil
+		}
+		info.Records++
+		if err := fn(rec); err != nil {
+			return wal.CheckpointInfo{}, err
+		}
+	}
 }

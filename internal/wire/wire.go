@@ -121,6 +121,7 @@ const (
 	OpPing
 	OpReplicate
 	OpReplicaStatus
+	OpFetchCheckpoint
 	opMax
 )
 
@@ -159,6 +160,8 @@ func (o Op) String() string {
 		return "Replicate"
 	case OpReplicaStatus:
 		return "ReplicaStatus"
+	case OpFetchCheckpoint:
+		return "FetchCheckpoint"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -328,7 +331,7 @@ func AppendRequest(buf []byte, req *Request) []byte {
 		e.str(req.Key)
 	case OpCreateTable:
 		e.str(req.Table)
-	case OpPing, OpReplicaStatus:
+	case OpPing, OpReplicaStatus, OpFetchCheckpoint:
 	case OpReplicate:
 		e.u64(req.AfterSeq)
 	}
@@ -372,7 +375,7 @@ func DecodeRequest(body []byte) (Request, error) {
 		req.Key = d.str()
 	case OpCreateTable:
 		req.Table = d.str()
-	case OpPing, OpReplicaStatus:
+	case OpPing, OpReplicaStatus, OpFetchCheckpoint:
 	case OpReplicate:
 		req.AfterSeq = d.u64()
 	}

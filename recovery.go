@@ -35,7 +35,8 @@ import (
 // never fires for them, so nothing reaches the log.
 
 // OpenDir opens a database backed by a durable WAL in dir, running crash
-// recovery first: surviving log records are replayed into storage (in
+// recovery first: the newest complete checkpoint (if any) is loaded, then
+// the surviving post-checkpoint log records are replayed into storage (in
 // log order, stopping at the first torn or corrupt record — see
 // docs/wal.md) before the DB accepts traffic. Tables recorded in the log
 // are recreated automatically; secondary indexes are not logged and must
@@ -53,61 +54,104 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 		FS:          cfg.WALFS,
 	})
 	if err != nil {
+		db.Close()
 		return nil, err
 	}
-	// Replay before installing the log on the DB: replayed transactions
-	// run down the ordinary commit path, and with db.durable still nil
-	// they do not re-log themselves.
+	// Load the checkpoint, then replay the suffix, both before installing
+	// the log on the DB: replayed transactions run down the ordinary
+	// commit path, and with db.durable still nil they do not re-log
+	// themselves.
+	ckptRecords, err := db.loadCheckpoint(wl)
+	if err != nil {
+		wl.Close()
+		db.Close()
+		return nil, fmt.Errorf("pgssi: checkpoint load: %w", err)
+	}
 	if err := db.replayWAL(wl); err != nil {
 		wl.Close()
+		db.Close()
 		return nil, fmt.Errorf("pgssi: WAL replay: %w", err)
 	}
+	// Seed the engine's sequence state from the recovered log position.
+	// Replay runs replayed commits through the ordinary commit path, so
+	// the CSN counter already moved — but with a checkpoint the counter
+	// only counted the replayed suffix, leaving it below the recovered
+	// high-water mark; a new commit would then reuse a logged CSN.
+	db.mvcc.AdvanceSeq(mvcc.SeqNo(wl.RecoveredMaxSeq()))
+	db.markerSeq.Store(wl.RecoveredMarkerSeq())
+	db.recoveredRecords = ckptRecords + wl.RecoveredRecords()
+	// Seed the checkpoint trigger's watermarks so a reopened database
+	// does not immediately re-checkpoint state the recovered checkpoint
+	// already covers.
+	if info, ok := wl.CheckpointInfo(); ok {
+		db.ckptLastSeq = uint64(info.Seq)
+	}
+	db.ckptLastBytes = wl.Stats().BytesWritten
 	db.durable = wl
 	db.mvcc.SetOnCommitPublish(db.walCommitHook)
 	return db, nil
 }
 
-// replayWAL applies every recovered record to the (empty) database. Each
-// commit record is applied as one snapshot-isolation transaction, so a
-// replayed prefix is exactly the state those transactions produced.
+// loadCheckpoint folds the newest complete checkpoint's records into the
+// (empty) database, returning how many records it applied (0 if no
+// checkpoint exists).
+func (db *DB) loadCheckpoint(wl *wal.DurableLog) (int, error) {
+	info, err := wl.ReplayCheckpoint(db.applyRecoveredRecord)
+	if errors.Is(err, wal.ErrNoCheckpoint) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return info.Records, nil
+}
+
+// replayWAL applies every recovered post-checkpoint record to the
+// database. Each commit record is applied as one snapshot-isolation
+// transaction, so a replayed prefix is exactly the state those
+// transactions produced.
 func (db *DB) replayWAL(wl *wal.DurableLog) error {
-	return wl.Replay(func(rec wal.Record) error {
-		switch {
-		case rec.SafeSnapshot:
+	return wl.Replay(db.applyRecoveredRecord)
+}
+
+// applyRecoveredRecord folds one recovered record (from a checkpoint or
+// the log suffix) into storage through the ordinary commit path.
+func (db *DB) applyRecoveredRecord(rec wal.Record) error {
+	switch {
+	case rec.SafeSnapshot:
+		return nil
+	case rec.CreateTable != "":
+		if _, err := db.table(rec.CreateTable); err == nil {
 			return nil
-		case rec.CreateTable != "":
-			if _, err := db.table(rec.CreateTable); err == nil {
-				return nil
-			}
-			return db.CreateTable(rec.CreateTable)
-		default:
-			tx, err := db.Begin(TxOptions{Isolation: RepeatableRead})
-			if err != nil {
-				return err
-			}
-			for _, op := range rec.Ops {
-				if _, terr := db.table(op.Table); terr != nil {
-					// A pre-schema-logging log, or a table whose
-					// create-table record was cut off with its tail:
-					// recreate it so the row data is not lost.
-					if cerr := db.CreateTable(op.Table); cerr != nil {
-						tx.Rollback()
-						return cerr
-					}
-				}
-				if op.Delete {
-					if derr := tx.Delete(op.Table, op.Key); derr != nil && !errors.Is(derr, ErrNotFound) {
-						tx.Rollback()
-						return derr
-					}
-				} else if perr := tx.Put(op.Table, op.Key, op.Value); perr != nil {
-					tx.Rollback()
-					return perr
-				}
-			}
-			return tx.Commit()
 		}
-	})
+		return db.CreateTable(rec.CreateTable)
+	default:
+		tx, err := db.Begin(TxOptions{Isolation: RepeatableRead})
+		if err != nil {
+			return err
+		}
+		for _, op := range rec.Ops {
+			if _, terr := db.table(op.Table); terr != nil {
+				// A pre-schema-logging log, or a table whose
+				// create-table record was cut off with its tail:
+				// recreate it so the row data is not lost.
+				if cerr := db.CreateTable(op.Table); cerr != nil {
+					tx.Rollback()
+					return cerr
+				}
+			}
+			if op.Delete {
+				if derr := tx.Delete(op.Table, op.Key); derr != nil && !errors.Is(derr, ErrNotFound) {
+					tx.Rollback()
+					return derr
+				}
+			} else if perr := tx.Put(op.Table, op.Key, op.Value); perr != nil {
+				tx.Rollback()
+				return perr
+			}
+		}
+		return tx.Commit()
+	}
 }
 
 // walPrepare encodes tx's commit record ahead of the commit-sequence
@@ -193,13 +237,11 @@ func (db *DB) walFinish(pend *wal.Pending) error {
 	return pend.Wait()
 }
 
-// WALRecoveredRecords reports how many WAL records survived recovery at
-// OpenDir (0 for a fresh directory or a non-durable DB).
+// WALRecoveredRecords reports how many records OpenDir recovered:
+// checkpoint records plus the replayed post-checkpoint log suffix (0 for
+// a fresh directory or a non-durable DB).
 func (db *DB) WALRecoveredRecords() int {
-	if db.durable == nil {
-		return 0
-	}
-	return db.durable.RecoveredRecords()
+	return db.recoveredRecords
 }
 
 // WALStats returns the durable WAL's counters (zero value for a

@@ -41,11 +41,18 @@ import (
 // Each transaction writes two keys (a<id>, b<id>), so "fully" is a real
 // atomicity check: recovering one key of a transaction without the
 // other is a torn commit.
+//
+// Half the iterations run the child in checkpoint-heavy mode (tiny
+// segments, aggressive -checkpoint-every), so the SIGKILL also lands
+// inside checkpoint writes and segment GC; the recovered state must
+// honor the same contract from a checkpoint plus the log suffix, or
+// from the previous manifest when the kill tore the newest checkpoint.
 var crashIters = flag.Int("crash-iters", 20, "kill-and-reopen crash harness iterations (nightly soak raises this)")
 
 const (
 	crashChildEnv = "PGSSI_CRASH_CHILD"
 	crashDirEnv   = "PGSSI_CRASH_DIR"
+	crashCkptEnv  = "PGSSI_CRASH_CKPT"
 	crashTable    = "kv"
 )
 
@@ -64,7 +71,15 @@ func crashChildMain() {
 		fmt.Fprintln(os.Stderr, "crash child: no data dir")
 		os.Exit(1)
 	}
-	db, err := pgssi.OpenDir(dir, pgssi.Config{FsyncMode: pgssi.FsyncBatch})
+	cfg := pgssi.Config{FsyncMode: pgssi.FsyncBatch}
+	if os.Getenv(crashCkptEnv) == "1" {
+		// Checkpoint-heavy mode: tiny segments and an aggressive trigger,
+		// so the SIGKILL regularly lands mid-checkpoint or mid-GC and
+		// recovery must fall back to the previous manifest.
+		cfg.WALSegmentSize = 8 << 10
+		cfg.CheckpointEvery = 16 << 10
+	}
+	db, err := pgssi.OpenDir(dir, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crash child: open: %v\n", err)
 		os.Exit(1)
@@ -147,7 +162,10 @@ func TestCrashKillAndReopen(t *testing.T) {
 	rng := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 0xdead))
 	var totalCommits, totalKilledInFlight int
 	for i := 0; i < iters; i++ {
-		c, inflight := runCrashIteration(t, exe, i, rng)
+		// Odd iterations run the checkpoint-heavy child: the kill can land
+		// mid-checkpoint-write or mid-GC, and recovery must come up from
+		// the previous manifest with the same durability contract.
+		c, inflight := runCrashIteration(t, exe, i, rng, i%2 == 1)
 		totalCommits += c
 		totalKilledInFlight += inflight
 	}
@@ -161,12 +179,15 @@ func TestCrashKillAndReopen(t *testing.T) {
 // its directory, and verifies the durability contract. It returns how
 // many acknowledged commits were verified present and how many
 // transactions were in flight (no verdict) at the kill.
-func runCrashIteration(t *testing.T, exe string, iter int, rng *rand.Rand) (commits, inflight int) {
+func runCrashIteration(t *testing.T, exe string, iter int, rng *rand.Rand, checkpointed bool) (commits, inflight int) {
 	t.Helper()
 	dir := filepath.Join(t.TempDir(), fmt.Sprintf("crash%03d", iter))
 
 	cmd := exec.Command(exe)
 	cmd.Env = append(os.Environ(), crashChildEnv+"=1", crashDirEnv+"="+dir)
+	if checkpointed {
+		cmd.Env = append(cmd.Env, crashCkptEnv+"=1")
+	}
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	stdout, err := cmd.StdoutPipe()

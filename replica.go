@@ -36,6 +36,7 @@ import (
 type Replica struct {
 	db     *DB
 	src    wal.Stream
+	tables []string // pre-created tables, replayed into a re-seeded engine too
 	stopCh chan struct{}
 	done   chan struct{}
 
@@ -73,9 +74,12 @@ type ReplicaTxOptions struct {
 // NewReplica creates a standby that replays log and mirrors the schema of
 // the given tables. The log may be the in-memory wal.Log, a durable
 // wal.DurableLog (DB.DurableWAL), or a network source (wire's
-// ReplicaSource) — a durable stream replays everything on disk first, so
-// a replica attached to a restarted master catches up from the beginning
-// of the log; tables recorded in the stream are created automatically.
+// ReplicaSource); tables recorded in the stream are created
+// automatically. A fresh replica on an uncheckpointed stream catches up
+// from the beginning of the log; when the source's history has been
+// truncated by checkpoint GC (wal.ErrSeqTruncated) the replica seeds
+// itself from the source's newest checkpoint instead
+// (wal.CheckpointSource) and resumes from the checkpoint sequence.
 func NewReplica(log wal.Stream, tables []string) (*Replica, error) {
 	db := Open(Config{})
 	for _, t := range tables {
@@ -89,6 +93,7 @@ func NewReplica(log wal.Stream, tables []string) (*Replica, error) {
 	r := &Replica{
 		db:     db,
 		src:    log,
+		tables: append([]string(nil), tables...),
 		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -115,12 +120,34 @@ func (r *Replica) run() {
 		before := r.applied
 		r.mu.Unlock()
 
-		ch, cancel := r.src.SubscribeFrom(after)
-		alive := r.applyLoop(ch, attempt > 0)
-		cancel()
-		if !alive {
-			return
+		ch, cancel, serr := r.subscribe(after)
+		if errors.Is(serr, wal.ErrSeqTruncated) {
+			// The source GC'd the records between our position and its
+			// checkpoint: the gap is real and waiting cannot fill it.
+			// Re-seed from the source's checkpoint and resume from the
+			// checkpoint sequence (also the fresh-replica bootstrap path
+			// against a primary whose early segments are long gone).
+			if rerr := r.reseed(); rerr != nil {
+				r.mu.Lock()
+				if r.err == nil {
+					r.err = fmt.Errorf("%w: re-seed after truncated resume: %v", ErrReplicaHalted, rerr)
+				}
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				return
+			}
+			backoff = time.Millisecond
+			continue
 		}
+		if serr == nil {
+			alive := r.applyLoop(ch, attempt > 0)
+			cancel()
+			if !alive {
+				return
+			}
+		}
+		// serr != nil falls through to the permanent-error check and the
+		// backoff, exactly like a channel that closed immediately.
 
 		// A source that reports a permanent failure (e.g. wire's
 		// ReplicaSource after the primary refused replication outright)
@@ -155,6 +182,69 @@ func (r *Replica) run() {
 			backoff *= 2
 		}
 	}
+}
+
+// subscribe resumes the stream from after, preferring the
+// truncation-aware variant: a source that implements wal.CheckedStream
+// reports wal.ErrSeqTruncated when `after` fell below its GC floor,
+// which run turns into a checkpoint re-seed. Plain sources (the
+// in-memory wal.Log) cannot truncate and never fail.
+func (r *Replica) subscribe(after mvcc.SeqNo) (<-chan wal.Record, func(), error) {
+	if cs, ok := r.src.(wal.CheckedStream); ok {
+		return cs.SubscribeFromChecked(after)
+	}
+	ch, cancel := r.src.SubscribeFrom(after)
+	return ch, cancel, nil
+}
+
+// reseed rebuilds the replica's engine from the source's newest
+// checkpoint: a fresh engine is loaded off to the side (readers keep
+// serving the old state), then swapped in under r.mu with the applied
+// position advanced to the checkpoint sequence. The checkpoint sits on
+// a safe-snapshot marker by construction, so the seeded position is
+// immediately safe for serializable reads.
+func (r *Replica) reseed() error {
+	cs, ok := r.src.(wal.CheckpointSource)
+	if !ok {
+		return fmt.Errorf("source cannot serve a checkpoint: %w", wal.ErrNoCheckpoint)
+	}
+	db := Open(Config{})
+	for _, t := range r.tables {
+		if err := db.CreateTable(t); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	applied := 0
+	info, err := cs.ReplayCheckpoint(func(rec wal.Record) error {
+		if rec.SafeSnapshot {
+			return nil
+		}
+		applied++
+		return applyStreamRecord(db, rec)
+	})
+	if err != nil {
+		db.Close()
+		return err
+	}
+	r.mu.Lock()
+	if r.stopped || r.err != nil {
+		r.mu.Unlock()
+		db.Close()
+		return nil // the run loop exits on its next check
+	}
+	old := r.db
+	r.db = db
+	r.applied += applied
+	r.safeAt = r.applied
+	r.appliedSeq = uint64(info.Seq)
+	r.safeSeq = uint64(info.Seq)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	// Readers that began on the old engine finish on its frozen state;
+	// Close only rejects new transactions.
+	old.Close()
+	return nil
 }
 
 // applyLoop applies records in order until the channel closes (returns
@@ -254,13 +344,19 @@ func (r *Replica) duplicateLocked(rec wal.Record) bool {
 // and must halt rather than keep serving. Caller holds r.mu, which also
 // serializes appliers against snapshot-taking readers.
 func (r *Replica) applyRecord(rec wal.Record) error {
+	return applyStreamRecord(r.db, rec)
+}
+
+// applyStreamRecord applies one stream record to db (the replica's live
+// engine, or the fresh engine a re-seed is loading).
+func applyStreamRecord(db *DB, rec wal.Record) error {
 	if rec.CreateTable != "" {
-		if _, err := r.db.table(rec.CreateTable); err == nil {
+		if _, err := db.table(rec.CreateTable); err == nil {
 			return nil // pre-created via NewReplica's tables argument
 		}
-		return r.db.CreateTable(rec.CreateTable)
+		return db.CreateTable(rec.CreateTable)
 	}
-	tx, err := r.db.Begin(TxOptions{Isolation: RepeatableRead})
+	tx, err := db.Begin(TxOptions{Isolation: RepeatableRead})
 	if err != nil {
 		return err
 	}

@@ -36,6 +36,16 @@ const (
 	StatusNotSafe
 	StatusReplicaHalted
 	StatusNoReplication
+	// StatusDurabilityLost reports a poisoned durable WAL: the server's
+	// log took a sticky flush failure, no commit can be made durable,
+	// and Begin refuses new transactions until the operator restarts
+	// the process (reopening the directory).
+	StatusDurabilityLost
+	// StatusSeqTruncated reports a replication resume position below
+	// the primary's checkpoint GC floor: the records needed to resume
+	// were garbage-collected, and the subscriber must re-seed from a
+	// checkpoint (FetchCheckpoint) instead of resuming.
+	StatusSeqTruncated
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +87,10 @@ func (s Status) String() string {
 		return "replica halted"
 	case StatusNoReplication:
 		return "replication unavailable"
+	case StatusDurabilityLost:
+		return "durability lost (WAL poisoned)"
+	case StatusSeqTruncated:
+		return "resume position truncated by checkpoint GC"
 	default:
 		return "unknown status"
 	}
@@ -122,6 +136,8 @@ func (s Status) Err() error {
 		return ErrNotSafePoint
 	case StatusReplicaHalted:
 		return ErrReplicaHalted
+	case StatusDurabilityLost:
+		return ErrWALPoisoned
 	default:
 		return errors.New("pgssi: " + s.String())
 	}
@@ -157,6 +173,8 @@ func StatusOf(err error) Status {
 		return StatusNotSafe
 	case errors.Is(err, ErrReplicaHalted):
 		return StatusReplicaHalted
+	case errors.Is(err, ErrWALPoisoned):
+		return StatusDurabilityLost
 	case errors.Is(err, ErrClosed):
 		return StatusShuttingDown
 	default:
@@ -239,6 +257,8 @@ func (s *Session) Begin(level IsolationLevel, readOnly, deferrable bool) (Handle
 			return 0, StatusReplicaHalted
 		case errors.Is(err, ErrReadOnlyTx):
 			return 0, StatusReadOnlyTx
+		case errors.Is(err, ErrWALPoisoned):
+			return 0, StatusDurabilityLost
 		default:
 			return 0, StatusInvalidRequest
 		}

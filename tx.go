@@ -65,6 +65,14 @@ func (db *DB) Begin(opts TxOptions) (*Tx, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
+	// A poisoned durable log can never acknowledge another commit:
+	// refuse new transactions up front (ErrWALPoisoned) instead of
+	// letting each one run to a walFinish that is guaranteed to fail.
+	if db.durable != nil {
+		if perr := db.durable.PoisonErr(); perr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWALPoisoned, perr)
+		}
+	}
 	if opts.Deferrable {
 		if !opts.ReadOnly || opts.Isolation != Serializable {
 			return nil, fmt.Errorf("pgssi: DEFERRABLE requires a SERIALIZABLE READ ONLY transaction")
@@ -315,16 +323,22 @@ func (db *DB) maybeEmitMarkerLocked() {
 		return
 	}
 	seq := db.mvcc.CurrentSeq()
-	if seq == 0 || uint64(seq) <= db.markerSeq.Load() {
+	if seq == 0 {
 		return
 	}
-	db.markerSeq.Store(uint64(seq))
-	if log := db.walLog.Load(); log != nil {
-		log.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+	if uint64(seq) > db.markerSeq.Load() {
+		db.markerSeq.Store(uint64(seq))
+		if log := db.walLog.Load(); log != nil {
+			log.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+		}
+		if db.durable != nil {
+			db.durable.Append(wal.Record{Seq: seq, SafeSnapshot: true})
+		}
 	}
-	if db.durable != nil {
-		db.durable.Append(wal.Record{Seq: seq, SafeSnapshot: true})
-	}
+	// Every quiescent instant is a legal checkpoint point — including
+	// one whose marker was deduplicated above (the marker at seq is
+	// already in the log, which is all the checkpoint needs).
+	db.maybeStartCheckpointLocked(uint64(seq))
 }
 
 // emitAbortSafePoint emits a safe-snapshot marker when an abort leaves
@@ -340,7 +354,12 @@ func (db *DB) emitAbortSafePoint() {
 	if db.durable == nil && db.walLog.Load() == nil {
 		return
 	}
-	if db.mvcc.ActiveCount() != 0 || uint64(db.mvcc.CurrentSeq()) <= db.markerSeq.Load() {
+	if db.mvcc.ActiveCount() != 0 {
+		return
+	}
+	if uint64(db.mvcc.CurrentSeq()) <= db.markerSeq.Load() && !db.checkpointWanted() {
+		// No marker owed and no checkpoint wanted: skip the walMu
+		// section entirely (the common abort).
 		return
 	}
 	db.walMu.Lock()

@@ -14,6 +14,71 @@ import (
 // group fsync. always pins it at ~1 (every commit pays its own sync),
 // off removes syncs entirely and bounds the WAL's non-durability cost.
 // Nightly CI archives this with -benchmem.
+// BenchmarkRecovery measures OpenDir on a directory holding a fixed
+// history of overwrites, with and without a checkpoint taken before the
+// "crash". Without one, recovery replays the whole log and scales with
+// history; with one, it loads the compact image plus a short suffix and
+// stays flat however long the history grows — the tentpole claim of
+// checkpointing. recovered/open reports how many records each reopen
+// actually folded. Nightly CI archives this with -benchmem.
+func BenchmarkRecovery(b *testing.B) {
+	const commits, keys, suffix = 2000, 50, 20
+	build := func(b *testing.B, checkpoint bool) string {
+		dir := b.TempDir()
+		db, err := pgssi.OpenDir(dir, pgssi.Config{FsyncMode: pgssi.FsyncOff, WALSegmentSize: 64 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.CreateTable("t"); err != nil {
+			b.Fatal(err)
+		}
+		put := func(i int) {
+			err := db.RunTx(pgssi.TxOptions{Isolation: pgssi.RepeatableRead}, func(tx *pgssi.Tx) error {
+				return tx.Put("t", fmt.Sprintf("k%04d", i%keys), []byte(fmt.Sprintf("v%08d", i)))
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < commits-suffix; i++ {
+			put(i)
+		}
+		if checkpoint {
+			if _, err := db.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := commits - suffix; i < commits; i++ {
+			put(i)
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, ckpt := range []bool{false, true} {
+		name := "nocheckpoint"
+		if ckpt {
+			name = "checkpoint"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := build(b, ckpt)
+			var recovered int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db, err := pgssi.OpenDir(dir, pgssi.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recovered = db.WALRecoveredRecords()
+				db.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(recovered), "recovered/open")
+		})
+	}
+}
+
 func BenchmarkGroupCommit(b *testing.B) {
 	modes := []struct {
 		name string
