@@ -1,0 +1,220 @@
+// Command ssilint machine-checks the engine's concurrency and resource
+// invariants: the //ssi:lock acquisition order, the constructor
+// close-on-error discipline, and exhaustiveness of switches over the
+// wire-stable enums. See docs/invariants.md.
+//
+// It runs two ways:
+//
+//	go build -o ssilint ./cmd/ssilint && go vet -vettool=./ssilint ./...
+//	    The vet driver feeds it one pre-compiled package at a time
+//	    (including test variants) via the vet config protocol; this is
+//	    what CI runs, and it caches like any other vet.
+//
+//	go run ./cmd/ssilint ./...
+//	    Standalone: loads packages itself via `go list` (non-test files
+//	    only). Handy during development; `make lint` wraps the vettool
+//	    form.
+//
+// The tool is stdlib-only on purpose — the build pins no
+// golang.org/x/tools version — so the `go vet -vettool` contract
+// (-V=full, -flags, and the JSON config file) is implemented here
+// directly.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"pgssi/internal/lint"
+	"pgssi/internal/lint/load"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The vet driver's tool handshake: `ssilint -V=full` must print a
+	// version line carrying a content hash (it keys vet's result
+	// cache), and `ssilint -flags` must describe supported analyzer
+	// flags as JSON (we add none).
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Printf("ssilint version devel buildID=%s\n", selfID())
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		case a == "-h" || a == "-help" || a == "--help":
+			usage()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  ssilint [packages]         analyze packages (default ./...)
+  ssilint vet.cfg            vet-tool mode (driven by go vet -vettool)
+  ssilint -V=full | -flags   vet driver handshake
+`)
+}
+
+// selfID returns a content hash of this executable, so rebuilding the
+// tool invalidates go vet's cached results.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runStandalone loads packages with go list and analyzes them.
+func runStandalone(patterns []string) int {
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssilint:", err)
+		return 1
+	}
+	found := 0
+	for _, p := range pkgs {
+		diags, err := lint.Run(lint.Analyzers(), p.Fset, p.Files, p.Types, p.Info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssilint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			found++
+		}
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON written by cmd/go for a vet tool (see
+// buildVetConfig in cmd/go/internal/work/exec.go).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	GoVersion   string
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single package unit described by cfgPath,
+// following the vet tool contract: diagnostics to stderr in
+// file:line:col form with exit status 2, the vetx output file written
+// regardless (we export no facts, but the driver caches the file).
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssilint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ssilint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("ssilint-novetx\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ssilint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: ssilint exports no inter-package facts, so
+		// there is nothing to compute.
+		return 0
+	}
+	if cfg.Compiler != "" && cfg.Compiler != runtime.Compiler {
+		// Export data below is read with this toolchain's importer.
+		fmt.Fprintf(os.Stderr, "ssilint: unsupported compiler %q\n", cfg.Compiler)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssilint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, runtime.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	if v := cfg.GoVersion; v != "" {
+		conf.GoVersion = v
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ssilint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := lint.Run(lint.Analyzers(), fset, files, tpkg, info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssilint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -312,7 +312,7 @@ type tableInfo struct {
 	pk *btree.Tree
 	// pkName is the lock-target relation name of the primary index.
 	pkName string
-	mu     sync.RWMutex
+	mu     sync.RWMutex //ssi:lock level=25 name=pgssi.table
 	second map[string]*secondaryIndex
 }
 
@@ -325,10 +325,10 @@ type DB struct {
 	s2pl   *s2pl.Manager
 	wg     *waitgraph.Graph
 
-	mu     sync.RWMutex
+	mu     sync.RWMutex //ssi:lock level=20 name=pgssi.tables
 	tables map[string]*tableInfo
 
-	prepMu   sync.Mutex
+	prepMu   sync.Mutex //ssi:lock level=30 name=pgssi.prepared
 	prepared map[string]*Tx
 
 	// walMu orders WAL sink appends with commit publication: a
@@ -338,7 +338,7 @@ type DB struct {
 	// commit record they cover. Lock order: ssi locks → walMu → mvcc
 	// shard locks → wal log locks; nothing takes walMu while holding a
 	// lock later in that chain.
-	walMu sync.Mutex
+	walMu sync.Mutex //ssi:lock level=40 name=pgssi.wal
 	// walLog is the attached in-memory log-shipping sink (AttachWAL),
 	// nil when detached. Atomic so the no-sink fast paths (aborts,
 	// no-write commits) can check it without taking walMu; it is only
@@ -370,7 +370,7 @@ type DB struct {
 	// trigger runs inside the marker path and reads durable.Stats under
 	// it); it is never held across checkpoint I/O — the checkpoint
 	// itself is written by a background goroutine (runCheckpoint).
-	ckptMu        sync.Mutex
+	ckptMu        sync.Mutex //ssi:lock level=45 name=pgssi.ckpt
 	ckptWaiters   []chan ckptResult
 	ckptRunning   bool
 	ckptLastSeq   uint64

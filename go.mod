@@ -1,3 +1,8 @@
 module pgssi
 
+// Kept dependency-free on purpose: the ssilint analyzer suite
+// (internal/lint, cmd/ssilint) implements the vet vettool protocol on
+// the standard library alone, so no golang.org/x/tools pin is needed —
+// x/tools releases that still build on go 1.22 would otherwise have to
+// be pinned and re-pinned as analysis APIs move.
 go 1.22

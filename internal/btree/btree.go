@@ -58,7 +58,7 @@ func (n *node) leaf() bool { return n.children == nil }
 // tree; PostgreSQL's per-page latching is unnecessary here because the
 // interesting concurrency control happens a level up.
 type Tree struct {
-	mu       sync.RWMutex
+	mu       sync.RWMutex //ssi:lock level=10 name=btree.tree
 	root     *node
 	nextPage PageID
 	size     int

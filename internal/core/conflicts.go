@@ -159,6 +159,8 @@ func (m *Manager) conflictWithSummarizedWriterLocked(x *Xact, wCommit, outSeq mv
 // serialized after the commit on a global mutex — or the edge is
 // inserted first and the endpoint's eligibility check sees it and takes
 // the slow path through the full pre-commit check.
+//
+//ssi:holds core.ssi
 func (m *Manager) onConflictDetectedLocked(r, w, caller *Xact) error {
 	if r == w {
 		return nil

@@ -291,7 +291,7 @@ type Xact struct {
 	// eligibility check and commit transition hold only edgeMu. A
 	// thread not holding Manager.mu may hold at most ONE edge lock (its
 	// own); holding several requires Manager.mu (see partition.go).
-	edgeMu sync.Mutex
+	edgeMu sync.Mutex //ssi:lock level=30 name=core.edge multi=under:core.ssi
 	// inConflicts holds transactions R with an rw-antidependency
 	// R → this (R read an object this transaction wrote).
 	inConflicts map[*Xact]struct{}
@@ -311,7 +311,7 @@ type Xact struct {
 	// lockMu guards the transaction's own lock bookkeeping below. It
 	// nests inside Manager.mu and outside the partition mutexes (see
 	// partition.go for the full ordering rule).
-	lockMu sync.Mutex
+	lockMu sync.Mutex //ssi:lock level=40 name=core.txnLocks
 	// locks is this transaction's SIREAD lock set.
 	locks map[Target]struct{}
 	// tuplesOnPage counts tuple locks per (rel, page) for promotion.
@@ -371,7 +371,7 @@ type Manager struct {
 	// is NOT globally serialized here any more: Begin uses the sharded
 	// registry below, and conflict-free commits use only their own
 	// Xact.edgeMu. The SIREAD lock table lives in the hash partitions.
-	mu   sync.Mutex
+	mu   sync.Mutex //ssi:lock level=20 name=core.ssi
 	cfg  Config
 	mvcc *mvcc.Manager
 
@@ -396,7 +396,7 @@ type Manager struct {
 
 	// retireMu guards retired, the queue of committed transactions
 	// awaiting epoch reclamation (reclaim.go), sorted by CommitSeq.
-	retireMu sync.Mutex
+	retireMu sync.Mutex //ssi:lock level=30 name=core.retire
 	retired  []*Xact
 
 	// oldCommitted is the dummy transaction that absorbs summarized

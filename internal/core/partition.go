@@ -147,9 +147,12 @@ import (
 // TestPageSplitQuiesceAccounting pins the LockCount == LocksCurrent
 // consequence.
 
-// lockPartition is one shard of the SIREAD lock table.
+// lockPartition is one shard of the SIREAD lock table. Its mutex is
+// the innermost of the package's annotated locks — the acquisition
+// order is machine-checked by ssilint against the canonical level
+// table in docs/invariants.md.
 type lockPartition struct {
-	mu sync.Mutex
+	mu sync.Mutex //ssi:lock level=50 name=core.partition
 	// locks maps target → holders, for targets hashing to this shard.
 	locks map[Target]map[*Xact]struct{}
 	// dummySeqs records, per target held by the summarized dummy

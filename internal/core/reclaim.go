@@ -39,7 +39,7 @@ const reclaimBatch = 64
 
 // reclaimer tracks the lazily-spawned background pass.
 type reclaimer struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //ssi:lock level=15 name=core.reclaimer
 	running bool
 	pending bool
 	// closed permanently disables background passes (Manager.Close):
@@ -52,7 +52,7 @@ type reclaimer struct {
 	// and without pass-level mutual exclusion ReclaimNow could return
 	// while a concurrent background pass still holds popped entries it
 	// has not dropped yet.
-	passMu sync.Mutex
+	passMu sync.Mutex //ssi:lock level=10 name=core.reclaimPass
 }
 
 // wakeReclaimer requests a background pass, spawning the goroutine if

@@ -27,7 +27,7 @@ import (
 
 // xactShard is one shard of the registry.
 type xactShard struct {
-	mu sync.Mutex
+	mu sync.Mutex //ssi:lock level=30 name=core.xactShard
 	// tracked maps xid → transaction for every transaction the SSI layer
 	// still knows about: active, prepared, or committed-awaiting-reclaim.
 	tracked map[mvcc.TxID]*Xact

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ssilint's annotations are ordinary line comments with an "ssi:"
+// machine prefix, in the style of go:build / go:generate directives:
+//
+//	//ssi:lock level=N name=pkg.lockName [multi=under:pkg.outerName]
+//	    on a mutex struct field, a (package-level or local) mutex var,
+//	    or a function returning a mutex — declares the lock's position
+//	    in the engine-wide acquisition order. Levels ascend from
+//	    outermost to innermost: a goroutine may only acquire a lock
+//	    whose level is strictly greater than every annotated lock it
+//	    already holds. multi=under:<name> permits holding several
+//	    locks of this one class at once, but only while the named
+//	    outer lock is held (the Xact.edgeMu rule from
+//	    internal/core/partition.go).
+//
+//	//ssi:holds pkg.lockName [pkg.lockName...]
+//	    on a function declaration — declares the precondition that
+//	    callers hold the named locks (the *Locked naming convention,
+//	    machine-readable). The body is checked with those locks in the
+//	    held set. The precondition itself is trusted, not enforced at
+//	    call sites: enforcing it would require annotating every
+//	    function on every path to each acquisition.
+//
+//	//ssi:enum
+//	    on a type declaration — declares the type's package-level
+//	    constants a closed enum; switches over it must carry a default
+//	    arm or cover every member.
+//
+//	//ssi:ignore reason=<justification> [check=name1,name2]
+//	    on (or on the line above) a flagged line — suppresses the
+//	    diagnostic. The reason is mandatory; a reasonless ignore is
+//	    itself a diagnostic.
+//
+// The canonical lock-level table and the full syntax live in
+// docs/invariants.md.
+
+const (
+	directivePrefix = "//ssi:"
+	ignoreDirective = "//ssi:ignore"
+	lockDirective   = "//ssi:lock"
+	enumDirective   = "//ssi:enum"
+)
+
+// directiveErrAnalyzer names the pseudo-analyzer that malformed
+// directives are reported under.
+const directiveErrAnalyzer = "ssidirective"
+
+// lockAnnotation is one parsed //ssi:lock directive.
+type lockAnnotation struct {
+	Level int
+	Name  string
+	// MultiUnder, if non-empty, names the outer lock under which
+	// several locks of this class may be held at once.
+	MultiUnder string
+}
+
+// parseKeyVals splits "key=val key=val ..." with the convention that a
+// reason= value swallows the rest of the line (justifications are
+// prose).
+func parseKeyVals(s string) map[string]string {
+	out := make(map[string]string)
+	if i := strings.Index(s, "reason="); i >= 0 {
+		out["reason"] = strings.TrimSpace(s[i+len("reason="):])
+		s = s[:i]
+	}
+	for _, f := range strings.Fields(s) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			out[k] = ""
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// parseLockAnnotation parses the text after //ssi:lock. It returns a
+// human-readable problem description instead of an annotation when the
+// directive is malformed.
+func parseLockAnnotation(args string) (lockAnnotation, string) {
+	kv := parseKeyVals(args)
+	var a lockAnnotation
+	lvl, ok := kv["level"]
+	if !ok {
+		return a, "ssi:lock is missing level=N"
+	}
+	n, err := strconv.Atoi(lvl)
+	if err != nil {
+		return a, "ssi:lock level is not an integer: " + lvl
+	}
+	a.Level = n
+	a.Name, ok = kv["name"]
+	if !ok || a.Name == "" {
+		return a, "ssi:lock is missing name=..."
+	}
+	if m, ok := kv["multi"]; ok {
+		under, found := strings.CutPrefix(m, "under:")
+		if !found || under == "" {
+			return a, "ssi:lock multi= must be multi=under:<lockname>"
+		}
+		a.MultiUnder = under
+	}
+	for k := range kv {
+		switch k {
+		case "level", "name", "multi":
+		default:
+			return a, "ssi:lock has unknown key " + k
+		}
+	}
+	return a, ""
+}
+
+// ignoreEntry is one parsed //ssi:ignore directive.
+type ignoreEntry struct {
+	reason string
+	checks map[string]bool // nil = all analyzers
+}
+
+// ignoreIndex maps filename -> line -> suppressions on that line.
+type ignoreIndex map[string]map[int][]ignoreEntry
+
+// suppresses reports whether a diagnostic from the named analyzer at
+// position pos is covered by an ignore on the same line or the line
+// directly above it.
+func (ix ignoreIndex) suppresses(pos token.Position, analyzer string) bool {
+	lines := ix[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, e := range lines[line] {
+			if e.checks == nil || e.checks[analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex scans every comment for //ssi: directives, indexes
+// the ignores, and reports malformed or unknown directives. //ssi:lock
+// and //ssi:enum are validated where they are consumed (lockorder,
+// statusswitch); unknown kinds are flagged here so a typo'd directive
+// cannot silently check nothing.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagnostic) {
+	ix := make(ignoreIndex)
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: directiveErrAnalyzer,
+			Pos:      fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	forEachDirective(files, func(c *ast.Comment, kind, args string) {
+		switch kind {
+		case "ignore":
+			kv := parseKeyVals(args)
+			e := ignoreEntry{reason: kv["reason"]}
+			if e.reason == "" {
+				report(c.Pos(), "ssi:ignore requires a justification: reason=...")
+				return
+			}
+			if checks, ok := kv["check"]; ok {
+				e.checks = make(map[string]bool)
+				for _, name := range strings.Split(checks, ",") {
+					e.checks[name] = true
+				}
+			}
+			pos := fset.Position(c.Pos())
+			lines := ix[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]ignoreEntry)
+				ix[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], e)
+		case "lock", "enum", "holds":
+			// Validated by their consumers.
+		default:
+			report(c.Pos(), "unknown ssi: directive //ssi:"+kind)
+		}
+	})
+	return ix, diags
+}
+
+// forEachDirective calls fn for every //ssi: comment in files with the
+// directive kind ("lock", "enum", "ignore", ...) and its argument text.
+func forEachDirective(files []*ast.File, fn func(c *ast.Comment, kind, args string)) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				kind, args, _ := strings.Cut(rest, " ")
+				fn(c, kind, strings.TrimSpace(args))
+			}
+		}
+	}
+}
+
+// directiveOnLine returns the args of the first directive of the given
+// kind whose comment starts on line (used to attach annotations written
+// as trailing comments to the declaration they follow). found reports
+// whether one exists.
+type lineDirectives map[string]map[int]string // filename -> line -> args
+
+// collectLineDirectives indexes every directive of the given kind by
+// the line its comment starts on.
+func collectLineDirectives(fset *token.FileSet, files []*ast.File, kind string) lineDirectives {
+	out := make(lineDirectives)
+	forEachDirective(files, func(c *ast.Comment, k, args string) {
+		if k != kind {
+			return
+		}
+		pos := fset.Position(c.Pos())
+		lines := out[pos.Filename]
+		if lines == nil {
+			lines = make(map[int]string)
+			out[pos.Filename] = lines
+		}
+		lines[pos.Line] = args
+	})
+	return out
+}
+
+// at returns the directive args on the given file line.
+func (ld lineDirectives) at(pos token.Position) (string, bool) {
+	args, ok := ld[pos.Filename][pos.Line]
+	return args, ok
+}

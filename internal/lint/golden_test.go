@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pgssi/internal/lint"
+	"pgssi/internal/lint/linttest"
+	"pgssi/internal/lint/load"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata", "./lockorder", lint.LockOrder)
+}
+
+func TestMustClose(t *testing.T) {
+	linttest.Run(t, "testdata", "./mustclose", lint.MustClose)
+}
+
+func TestStatusSwitch(t *testing.T) {
+	linttest.Run(t, "testdata", "./statusswitch", lint.StatusSwitch)
+}
+
+// TestDefaultEnumAcrossPackages proves that a DefaultEnums-registered
+// enum is checked in importing packages through export data alone —
+// the mechanism behind the engine-wide pgssi.Status / wire.Op checks.
+func TestDefaultEnumAcrossPackages(t *testing.T) {
+	const key = "fix/wireop.Op"
+	lint.DefaultEnums[key] = true
+	defer delete(lint.DefaultEnums, key)
+	linttest.Run(t, "testdata", "./wireuse", lint.StatusSwitch)
+}
+
+// TestRepoClean runs the full suite over the engine itself: the tree's
+// non-test files must produce zero unsuppressed diagnostics. CI's
+// `go vet -vettool` run additionally covers the _test.go variants.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	pkgs, err := load.Packages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	for _, p := range pkgs {
+		diags, err := lint.Run(lint.Analyzers(), p.Fset, p.Files, p.Types, p.Info)
+		if err != nil {
+			t.Fatalf("%s: %v", p.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package lint is ssilint: a suite of static analyzers that
+// machine-check the engine's concurrency and resource invariants. The
+// multi-level lock order that nine PRs of lock decomposition encoded as
+// prose (internal/core/partition.go, internal/storage/latch.go,
+// internal/mvcc/mvcc.go, db.go) is read from lightweight //ssi:lock
+// annotations and enforced as build-failing diagnostics; the
+// constructor-leak bug class fixed twice in PR 9 (an error path
+// returning after the resource is live without closing it) and
+// non-exhaustive switches over wire-stable enums are checked the same
+// way. See docs/invariants.md for the annotation syntax, the canonical
+// lock-level table, and how to run the suite.
+//
+// The package deliberately depends only on the standard library: the
+// build environment pins no golang.org/x/tools version, so the
+// go/analysis-shaped core (Analyzer, Pass, Diagnostic), the
+// `go vet -vettool` unitchecker protocol (cmd/ssilint), and the
+// analysistest-style golden harness (linttest) are implemented here
+// directly on go/ast and go/types.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one analysis and how to run it. It is the
+// stdlib-only analogue of golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and
+// collects its diagnostics. Report applies //ssi:ignore suppression
+// before recording anything.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   *[]Diagnostic
+	ignores ignoreIndex
+}
+
+// A Diagnostic is one reported problem.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless an //ssi:ignore comment
+// suppresses it (same line or the line above, matching this analyzer).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppresses(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full ssilint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LockOrder, MustClose, StatusSwitch}
+}
+
+// Run runs the given analyzers over one type-checked package and
+// returns the surviving (unsuppressed) diagnostics sorted by position.
+// Malformed //ssi: annotations are reported as diagnostics themselves,
+// so a typo'd level or a reasonless ignore fails the build rather than
+// silently weakening the check.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores, annotErrs := buildIgnoreIndex(fset, files)
+	diags = append(diags, annotErrs...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+			ignores:   ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers need
+// populated, for callers that type-check packages themselves.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

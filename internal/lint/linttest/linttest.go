@@ -1,0 +1,133 @@
+// Package linttest is the golden-corpus harness for the ssilint
+// analyzers, in the style of golang.org/x/tools' analysistest (which
+// the build deliberately does not depend on): fixture packages under
+// internal/lint/testdata declare the diagnostics they must produce
+// with // want comments, and Run compares both ways.
+//
+//	e.inner.Lock() // want `re-acquires fix\.inner`
+//
+// A want comment holds one or more back- or double-quoted regular
+// expressions, each of which must match a distinct "analyzer: message"
+// diagnostic on the comment's line. The want+N form pins the
+// diagnostic N lines below the comment instead — for diagnostics that
+// land on a line already consumed by an //ssi: directive comment,
+// where no second comment fits. Diagnostics with no matching want and
+// wants with no matching diagnostic both fail the test.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pgssi/internal/lint"
+	"pgssi/internal/lint/load"
+)
+
+var (
+	wantRe    = regexp.MustCompile(`^//\s*want(\+\d+)?\s+(.*)$`)
+	wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads pattern from the fixture module rooted at dir, runs the
+// analyzers over every matched package, and compares the diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, dir, pattern string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Packages(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages match %s", pattern)
+	}
+	for _, p := range pkgs {
+		diags, err := lint.Run(analyzers, p.Fset, p.Files, p.Types, p.Info)
+		if err != nil {
+			t.Fatalf("%s: %v", p.PkgPath, err)
+		}
+		wants := collectWants(t, p)
+		for _, d := range diags {
+			if !meet(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.met {
+				t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment in the package's files.
+func collectWants(t *testing.T, p *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					n, err := strconv.Atoi(m[1][1:])
+					if err != nil {
+						t.Fatalf("%s: bad want offset %q", pos, m[1])
+					}
+					line += n
+				}
+				args := wantArgRe.FindAllString(m[2], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: want comment has no quoted pattern: %s", pos, c.Text)
+				}
+				for _, a := range args {
+					pat, err := unquote(a)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, a, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, a, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: line, re: re, raw: a})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	return strconv.Unquote(s)
+}
+
+// meet marks the first unmet expectation on the diagnostic's line whose
+// pattern matches, and reports whether one was found.
+func meet(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Analyzer + ": " + d.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,517 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// MustClose flags the constructor-leak bug class fixed twice in PR 9:
+// a constructor/open function builds a Close()-bearing resource, a
+// later step fails, and the error return abandons the live resource
+// without closing it (OpenDir leaking a half-built engine; the Replica
+// construction paths).
+//
+// The analyzer considers functions whose last result is error and whose
+// other results include a Close()-bearing type. Inside them it tracks
+// local variables bound to freshly-constructed resources: a call to a
+// constructor-shaped function (New*/Open*/Create*/Make*/Dial*/Listen*)
+// returning a Close()-bearing value. A bare &T{} composite literal is
+// deliberately NOT tracked — at birth it holds no external resources
+// (wal.OpenDir builds its DurableLog that way and acquires the real
+// file handle much later); the resource-bearing event is the
+// constructor call. A tracked
+// resource stops being the function's problem when it is closed, when a
+// defer mentioning it is installed (the usual cleanup shapes), when it
+// escapes (stored into a field, map, or another value, or passed to a
+// call — ownership moved), or when a return statement returns it (the
+// caller owns it now). Any return reached while a tracked resource is
+// live, unprotected, and not among the returned values is flagged.
+//
+// The v, err := Open(...) idiom is understood: until the paired err has
+// been checked once, v is not yet considered live, so the immediate
+// `if err != nil { return nil, err }` guard does not fire.
+var MustClose = &Analyzer{
+	Name: "mustclose",
+	Doc:  "check that constructor error paths close the resources they have already built",
+	Run:  runMustClose,
+}
+
+// constructorName matches callees that transfer ownership of their
+// result to the caller.
+var constructorName = regexp.MustCompile(`^(New|Open|Create|Make|Dial|Listen|new|open|create|make|dial|listen)`)
+
+// hasCloseMethod reports whether T (or *T) has a Close method.
+func hasCloseMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		// Already a pointer: look up on it directly.
+	} else if _, ok := t.(*types.Pointer); !ok {
+		t = types.NewPointer(t)
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, false, nil, "Close")
+	fn, ok := obj.(*types.Func)
+	return ok && fn != nil
+}
+
+// closerState tracks one constructed resource variable.
+type closerState struct {
+	obj types.Object
+	pos token.Pos // construction site
+	// guard is the error object assigned in the same statement; the
+	// resource only becomes live once the guard has been checked (or
+	// immediately, if there is no guard).
+	guard types.Object
+	live  bool
+}
+
+type closerSet map[types.Object]*closerState
+
+func (s closerSet) clone() closerSet {
+	out := make(closerSet, len(s))
+	for k, v := range s {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+func runMustClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !mustCloseCandidate(pass, fd) {
+				continue
+			}
+			w := &closeWalker{pass: pass}
+			w.walkStmts(fd.Body.List, make(closerSet))
+		}
+	}
+	return nil
+}
+
+// mustCloseCandidate reports whether fd is a constructor-shaped
+// function: last result error, and some other result Close()-bearing.
+func mustCloseCandidate(pass *Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	if res.Len() < 2 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	if named, ok := last.(*types.Named); !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return false
+	}
+	for i := 0; i < res.Len()-1; i++ {
+		if hasCloseMethod(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+type closeWalker struct {
+	pass *Pass
+}
+
+func (w *closeWalker) walkStmts(stmts []ast.Stmt, set closerSet) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, set) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *closeWalker) walkStmt(s ast.Stmt, set closerSet) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(s, set)
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, set)
+	case *ast.DeferStmt:
+		w.handleDefer(s, set)
+	case *ast.ReturnStmt:
+		w.handleReturn(s, set)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, set)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, set)
+	case *ast.IfStmt:
+		return w.walkIf(s, set)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, set)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, set)
+		}
+		w.walkStmts(s.Body.List, set.clone())
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, set)
+		w.walkStmts(s.Body.List, set.clone())
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(s, set)
+	case *ast.GoStmt:
+		// A goroutine given the resource owns (or at least shares) it.
+		w.scanExpr(s.Call, set)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, set)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, set)
+		w.scanExpr(s.Value, set)
+	}
+	return false
+}
+
+func (w *closeWalker) walkIf(s *ast.IfStmt, set closerSet) bool {
+	if s.Init != nil {
+		w.walkStmt(s.Init, set)
+	}
+	// If the condition checks a tracked resource's birth guard (the
+	// err from v, err := Open(...)), the branches see v as not yet
+	// live; after the whole if, the guard is consumed and v is live.
+	guarded := w.guardsChecked(s.Cond, set)
+	w.scanExpr(s.Cond, set)
+
+	thenSet := set.clone()
+	elseSet := set.clone()
+	for _, st := range guarded {
+		thenSet[st.obj].live = false
+		elseSet[st.obj].live = false
+	}
+	thenTerm := w.walkStmts(s.Body.List, thenSet)
+	elseTerm := false
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		elseTerm = w.walkStmts(e.List, elseSet)
+	case *ast.IfStmt:
+		elseTerm = w.walkStmt(e, elseSet)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		replaceCloserSet(set, elseSet)
+	case elseTerm:
+		replaceCloserSet(set, thenSet)
+	default:
+		// Keep a resource tracked if either branch still tracks it;
+		// closed-on-every-path resources were deleted in both.
+		merged := make(closerSet)
+		for k, v := range thenSet {
+			if _, ok := elseSet[k]; ok {
+				merged[k] = v
+			}
+		}
+		replaceCloserSet(set, merged)
+	}
+	// The guard has now been checked on the surviving path.
+	for _, st := range guarded {
+		if cur, ok := set[st.obj]; ok {
+			cur.guard = nil
+			cur.live = true
+		}
+	}
+	return false
+}
+
+func replaceCloserSet(dst, src closerSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func (w *closeWalker) walkCases(s ast.Stmt, set closerSet) bool {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, set)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, set)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, set)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	allTerm := len(body.List) > 0
+	for _, cl := range body.List {
+		h := set.clone()
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				w.scanExpr(e, h)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				w.walkStmt(cl.Comm, h)
+			}
+			stmts = cl.Body
+		}
+		if !w.walkStmts(stmts, h) {
+			allTerm = false
+		}
+	}
+	return allTerm
+}
+
+// handleAssign starts tracking constructor results and treats stores of
+// tracked resources into anything non-local as ownership transfer.
+func (w *closeWalker) handleAssign(s *ast.AssignStmt, set closerSet) {
+	// Any tracked resource appearing on the RHS (or indexed/selected on
+	// the LHS) escapes.
+	for _, r := range s.Rhs {
+		w.scanExpr(r, set)
+	}
+	for _, l := range s.Lhs {
+		if _, ok := l.(*ast.Ident); !ok {
+			w.scanExpr(l, set)
+		}
+	}
+
+	// Single call RHS: v, err := Open(...) / v := New(...).
+	if len(s.Rhs) == 1 {
+		if construct, ok := w.constructed(s.Rhs[0]); ok {
+			var errObj types.Object
+			if len(s.Lhs) == 2 {
+				errObj = w.lhsObj(s.Lhs[1])
+			}
+			if obj := w.lhsObj(s.Lhs[0]); obj != nil && hasCloseMethod(obj.Type()) {
+				set[obj] = &closerState{obj: obj, pos: construct, guard: errObj, live: errObj == nil}
+			}
+			return
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, r := range s.Rhs {
+			if construct, ok := w.constructed(r); ok {
+				if obj := w.lhsObj(s.Lhs[i]); obj != nil && hasCloseMethod(obj.Type()) {
+					set[obj] = &closerState{obj: obj, pos: construct, live: true}
+				}
+			} else if obj := w.lhsObj(s.Lhs[i]); obj != nil {
+				// Reassignment of a tracked variable drops the old value.
+				delete(set, obj)
+			}
+		}
+	}
+}
+
+// constructed reports whether e constructs a new owned resource, and
+// returns the construction position.
+func (w *closeWalker) constructed(e ast.Expr) (token.Pos, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		var name string
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if constructorName.MatchString(name) {
+			return e.Pos(), true
+		}
+	}
+	return token.NoPos, false
+}
+
+func (w *closeWalker) lhsObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pass.TypesInfo.Uses[id]
+}
+
+// handleDefer marks every tracked resource mentioned anywhere in the
+// deferred call (receiver, argument, or inside a literal body) as
+// protected: the standard cleanup shapes — defer v.Close(), and
+// defer func() { if !ok { v.Close() } }() — all mention v.
+func (w *closeWalker) handleDefer(s *ast.DeferStmt, set closerSet) {
+	ast.Inspect(s.Call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := w.pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, tracked := set[obj]; tracked {
+				delete(set, obj)
+			}
+		}
+		return true
+	})
+}
+
+// handleReturn flags live, unreturned resources.
+func (w *closeWalker) handleReturn(s *ast.ReturnStmt, set closerSet) {
+	returned := make(map[types.Object]bool)
+	for _, r := range s.Results {
+		ast.Inspect(r, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for obj, st := range set {
+		if !st.live || returned[obj] {
+			continue
+		}
+		w.pass.Reportf(s.Pos(), "return without closing %s (constructed at %s); close it, defer a cleanup, or return it",
+			obj.Name(), w.pass.Fset.Position(st.pos))
+	}
+}
+
+// guardsChecked returns tracked resources whose birth-error guard is
+// referenced by cond.
+func (w *closeWalker) guardsChecked(cond ast.Expr, set closerSet) []*closerState {
+	var out []*closerState
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, st := range set {
+			if st.guard != nil && st.guard == obj {
+				out = append(out, st)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// scanExpr handles v.Close() (resource closed) and escapes. Escape —
+// ownership leaving this function's hands — is a tracked resource used
+// as a plain value: passed as a call argument, stored into a field,
+// map, slice, or composite literal, address-taken, or captured by a
+// function literal. Method calls on the resource (v.recover(...)) and
+// field reads (v.stats) are NOT escapes: they are exactly what a
+// constructor does to a resource it still owns and must still close on
+// failure (the PR 9 OpenDir shape).
+func (w *closeWalker) scanExpr(e ast.Expr, set closerSet) {
+	w.visitValue(e, set)
+}
+
+// escape untracks a resource used as a plain value.
+func (w *closeWalker) escape(id *ast.Ident, set closerSet) {
+	if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+		delete(set, obj)
+	}
+}
+
+// visitValue walks e in value context: bare tracked identifiers escape.
+func (w *closeWalker) visitValue(e ast.Expr, set closerSet) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		w.escape(e, set)
+	case *ast.ParenExpr:
+		w.visitValue(e.X, set)
+	case *ast.SelectorExpr:
+		// v.field / pkg.Name: reading a field or qualified name does
+		// not move ownership of v.
+		if _, ok := e.X.(*ast.Ident); !ok {
+			w.visitValue(e.X, set)
+		}
+	case *ast.CallExpr:
+		w.visitCall(e, set)
+	case *ast.StarExpr:
+		w.visitValue(e.X, set)
+	case *ast.UnaryExpr:
+		w.visitValue(e.X, set)
+	case *ast.BinaryExpr:
+		w.visitValue(e.X, set)
+		w.visitValue(e.Y, set)
+	case *ast.IndexExpr:
+		w.visitValue(e.X, set)
+		w.visitValue(e.Index, set)
+	case *ast.SliceExpr:
+		w.visitValue(e.X, set)
+		w.visitValue(e.Low, set)
+		w.visitValue(e.High, set)
+		w.visitValue(e.Max, set)
+	case *ast.TypeAssertExpr:
+		w.visitValue(e.X, set)
+	case *ast.KeyValueExpr:
+		w.visitValue(e.Key, set)
+		w.visitValue(e.Value, set)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.visitValue(el, set)
+		}
+	case *ast.FuncLit:
+		// A closure capturing the resource may own it now.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				w.escape(id, set)
+			}
+			return true
+		})
+	}
+}
+
+// visitCall handles calls: v.Close() closes, method receivers stay
+// owned, arguments escape.
+func (w *closeWalker) visitCall(call *ast.CallExpr, set closerSet) {
+	if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := se.X.(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+				if _, tracked := set[obj]; tracked && se.Sel.Name == "Close" {
+					delete(set, obj)
+				}
+				// A non-Close method call on a tracked resource leaves
+				// it owned here; nothing to do for the receiver.
+			}
+		} else {
+			w.visitValue(se.X, set)
+		}
+	} else {
+		w.visitValue(call.Fun, set)
+	}
+	for _, arg := range call.Args {
+		w.visitValue(arg, set)
+	}
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StatusSwitch flags non-exhaustive switch statements over the
+// engine's closed enums — pgssi.Status and the wire opcodes, whose
+// numeric values are wire-stable and mirrored in docs/protocol.md — so
+// adding a status or opcode without updating every switch (or giving it
+// a default arm) fails the build instead of silently misrouting.
+//
+// A type is a checked enum if its declaration carries //ssi:enum (seen
+// when its own package is analyzed) or its qualified name is listed in
+// DefaultEnums (which lets switches in OTHER packages over an enum be
+// checked too: annotations are comments, and only export data crosses
+// package boundaries under `go vet`). A switch over a checked enum must
+// have a default clause or cover every package-level constant of the
+// type.
+var StatusSwitch = &Analyzer{
+	Name: "statusswitch",
+	Doc:  "check switches over closed enums (pgssi.Status, wire opcodes) for exhaustiveness or a default",
+	Run:  runStatusSwitch,
+}
+
+// DefaultEnums lists enums checked in every package, as
+// "import/path.TypeName". It mirrors the //ssi:enum annotations on the
+// declarations themselves (session.go, internal/wire/wire.go).
+var DefaultEnums = map[string]bool{
+	"pgssi.Status":           true,
+	"pgssi/internal/wire.Op": true,
+}
+
+func runStatusSwitch(pass *Pass) error {
+	local := localEnums(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := namedType(tv.Type)
+			if named == nil {
+				return true
+			}
+			if !local[named.Obj()] && !DefaultEnums[qualifiedName(named)] {
+				return true
+			}
+			checkEnumSwitch(pass, sw, named)
+			return true
+		})
+	}
+	return nil
+}
+
+// localEnums collects the //ssi:enum-annotated type declarations of
+// this package.
+func localEnums(pass *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	byLine := collectLineDirectives(pass.Fset, pass.Files, "enum")
+	mark := func(name *ast.Ident) {
+		if tn, ok := pass.TypesInfo.Defs[name].(*types.TypeName); ok {
+			out[tn] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			declAnnotated := hasDirective(gd.Doc, "enum")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declAnnotated || hasDirective(ts.Doc, "enum") || hasDirective(ts.Comment, "enum") {
+					mark(ts.Name)
+					continue
+				}
+				if _, ok := byLine.at(pass.Fset.Position(ts.Pos())); ok {
+					mark(ts.Name)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func hasDirective(g *ast.CommentGroup, kind string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if _, ok := cutDirective(c.Text, kind); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func namedType(t types.Type) *types.Named {
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func qualifiedName(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// enumMembers returns the package-level constants of the enum type,
+// from its defining package's scope (available through export data for
+// imported enums).
+func enumMembers(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named) {
+	covered := make(map[string]bool)
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // has a default arm: fine
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	members := enumMembers(named)
+	if len(members) == 0 {
+		return
+	}
+	var missing []string
+	seen := make(map[string]bool)
+	for _, m := range members {
+		v := m.Val().ExactString()
+		if covered[v] || seen[v] {
+			continue
+		}
+		seen[v] = true
+		missing = append(missing, m.Name())
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch over %s has no default and is not exhaustive: missing %s",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}

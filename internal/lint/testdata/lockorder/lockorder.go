@@ -1,0 +1,240 @@
+// Package lockorder is the golden corpus for the lockorder analyzer.
+// Every want comment pins a diagnostic the analyzer must produce; the
+// un-annotated shapes pin what it must stay silent on. The lock
+// hierarchy mirrors the engine's: ssi (outermost, the Manager.mu
+// analogue), txn, then partition (innermost), plus an edge class with
+// the multi=under rule and a latch class behind a getter.
+package lockorder
+
+import "sync"
+
+type engine struct {
+	ssi       sync.Mutex   //ssi:lock level=10 name=fix.ssi
+	txn       sync.Mutex   //ssi:lock level=20 name=fix.txn
+	partition sync.RWMutex //ssi:lock level=30 name=fix.partition
+	edge      sync.Mutex   //ssi:lock level=20 name=fix.edge multi=under:fix.ssi
+	plain     sync.Mutex   // unannotated: invisible to the analyzer
+}
+
+// orderedOK walks the hierarchy outermost to innermost: silent.
+func orderedOK(e *engine) {
+	e.ssi.Lock()
+	e.txn.Lock()
+	e.partition.RLock()
+	e.partition.RUnlock()
+	e.txn.Unlock()
+	e.ssi.Unlock()
+}
+
+// ssiAfterPartition is the Manager.mu-after-partition inversion: the
+// innermost lock is held when the outermost is acquired.
+func ssiAfterPartition(e *engine) {
+	e.partition.RLock()
+	e.ssi.Lock() // want `acquires fix\.ssi \(level 10\) while holding fix\.partition \(level 30\)`
+	e.ssi.Unlock()
+	e.partition.RUnlock()
+}
+
+func reacquire(e *engine) {
+	e.txn.Lock()
+	e.txn.Lock() // want `re-acquires fix\.txn \(level 20\) already held`
+	e.txn.Unlock()
+	e.txn.Unlock()
+}
+
+// sameLevel holds two distinct level-20 classes at once.
+func sameLevel(e, f *engine) {
+	e.txn.Lock()
+	f.edge.Lock() // want `acquires fix\.edge while holding same-level fix\.txn \(level 20\)`
+	f.edge.Unlock()
+	e.txn.Unlock()
+}
+
+// multiUnderOK holds two edge locks under the sanctioning outer lock:
+// silent (the several-edge-locks-under-Manager.mu rule).
+func multiUnderOK(e, x, y *engine) {
+	e.ssi.Lock()
+	x.edge.Lock()
+	y.edge.Lock()
+	y.edge.Unlock()
+	x.edge.Unlock()
+	e.ssi.Unlock()
+}
+
+// multiUnderViolation holds a second edge lock WITHOUT the outer lock —
+// the conflict-free fast path's one-edge-lock rule.
+func multiUnderViolation(x, y *engine) {
+	x.edge.Lock()
+	y.edge.Lock() // want `acquires a second fix\.edge \(level 20\) without holding fix\.ssi`
+	y.edge.Unlock()
+	x.edge.Unlock()
+}
+
+// acquiresSSI exists to be called while a later-level lock is held.
+func acquiresSSI(e *engine) {
+	e.ssi.Lock()
+	e.ssi.Unlock()
+}
+
+// interproc violates the order through a package-local call: the callee
+// transitively acquires the outermost lock.
+func interproc(e *engine) {
+	e.txn.Lock()
+	defer e.txn.Unlock()
+	acquiresSSI(e) // want `call to acquiresSSI acquires fix\.ssi \(level 10\) while holding fix\.txn`
+}
+
+// tryReverse try-acquires out of order: silent, a try cannot deadlock
+// (the storage latch-under-shard-mutex pattern). What is acquired under
+// the successful try is still checked against it.
+func tryReverse(e *engine) {
+	e.txn.Lock()
+	if e.ssi.TryLock() {
+		e.partition.RLock()
+		e.partition.RUnlock()
+		e.ssi.Unlock()
+	}
+	e.txn.Unlock()
+}
+
+// tryHoldChecked shows a successful try entering the held set: the
+// blocking acquisition under it is checked and flagged.
+func tryHoldChecked(e, f *engine) {
+	if e.txn.TryLock() {
+		f.ssi.Lock() // want `acquires fix\.ssi \(level 10\) while holding fix\.txn`
+		f.ssi.Unlock()
+		e.txn.Unlock()
+	}
+}
+
+// tryNegated: the negated-condition early-return shape holds the lock
+// on the fallthrough path. Silent.
+func tryNegated(e *engine) {
+	if !e.ssi.TryLock() {
+		return
+	}
+	e.txn.Lock()
+	e.txn.Unlock()
+	e.ssi.Unlock()
+}
+
+// underSSILocked declares the caller-holds precondition; the body is
+// checked with fix.ssi held, so the inner acquisition is fine.
+//
+//ssi:holds fix.ssi
+func underSSILocked(e *engine) {
+	e.txn.Lock()
+	e.txn.Unlock()
+}
+
+// underTxnLocked declares fix.txn held, so acquiring the outermost lock
+// is an inversion even though this body acquires nothing else.
+//
+//ssi:holds fix.txn
+func underTxnLocked(e *engine) {
+	e.ssi.Lock() // want `acquires fix\.ssi \(level 10\) while holding fix\.txn`
+	e.ssi.Unlock()
+}
+
+// A holds precondition naming an undeclared class is itself flagged.
+//
+// want+2 `ssi:holds names fix\.nosuch, which no ssi:lock annotation`
+//
+//ssi:holds fix.nosuch
+func holdsTypo() {}
+
+// goroutineIndependent: the spawned goroutine starts with nothing held.
+// Silent.
+func goroutineIndependent(e *engine) {
+	e.txn.Lock()
+	go func() {
+		e.ssi.Lock()
+		e.ssi.Unlock()
+	}()
+	e.txn.Unlock()
+}
+
+// deferKeepsHeld: a deferred Unlock means the lock stays held to the
+// end of the function, so the later acquisition is still an inversion.
+func deferKeepsHeld(e *engine) {
+	e.txn.Lock()
+	defer e.txn.Unlock()
+	e.ssi.Lock() // want `acquires fix\.ssi \(level 10\) while holding fix\.txn`
+	e.ssi.Unlock()
+}
+
+// branchMerge: a lock held on only one branch is not held after the
+// merge. Silent.
+func branchMerge(e *engine, c bool) {
+	if c {
+		e.txn.Lock()
+		e.txn.Unlock()
+	}
+	e.ssi.Lock()
+	e.ssi.Unlock()
+}
+
+// unannotatedInvisible: the plain mutex imposes no ordering. Silent.
+func unannotatedInvisible(e *engine) {
+	e.plain.Lock()
+	e.ssi.Lock()
+	e.ssi.Unlock()
+	e.plain.Unlock()
+}
+
+// suppressed: a justified ignore silences the inversion, on the same
+// line or the line above.
+func suppressed(e *engine) {
+	e.txn.Lock()
+	e.ssi.Lock() //ssi:ignore reason=fixture: demonstrating a justified same-line suppression
+	e.ssi.Unlock()
+	//ssi:ignore reason=fixture: demonstrating the line-above form
+	e.ssi.Lock()
+	e.ssi.Unlock()
+	e.txn.Unlock()
+}
+
+// wrongCheckIgnored: an ignore scoped to another analyzer does not
+// suppress lockorder.
+//
+// want+3 `acquires fix\.ssi \(level 10\) while holding fix\.txn`
+func wrongCheckIgnored(e *engine) {
+	e.txn.Lock()
+	e.ssi.Lock() //ssi:ignore check=mustclose reason=fixture: scoped to the wrong analyzer
+	e.ssi.Unlock()
+	e.txn.Unlock()
+}
+
+// reasonlessIgnore: an ignore without a justification is itself a
+// diagnostic (and suppresses nothing).
+//
+// want+2 `ssi:ignore requires a justification`
+func reasonlessIgnore(e *engine) {
+	e.ssi.Lock() //ssi:ignore
+	e.ssi.Unlock()
+}
+
+// A typo'd directive kind cannot silently check nothing.
+//
+// want+2 `unknown ssi: directive //ssi:frobnicate`
+//
+//ssi:frobnicate
+func typoDirective() {}
+
+// latchTable mirrors storage's getter-shaped latch access: both the
+// slice and the getter carry the annotation, and a local alias of the
+// getter's result resolves to the same class.
+type latchTable struct {
+	latches []sync.RWMutex //ssi:lock level=30 name=fix.latch
+}
+
+//ssi:lock level=30 name=fix.latch
+func (lt *latchTable) latch(i int) *sync.RWMutex { return &lt.latches[i] }
+
+func aliasGetter(lt *latchTable, e *engine) {
+	l := lt.latch(0)
+	l.RLock()
+	e.txn.Lock() // want `acquires fix\.txn \(level 20\) while holding fix\.latch \(level 30\)`
+	e.txn.Unlock()
+	l.RUnlock()
+}

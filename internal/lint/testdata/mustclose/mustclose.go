@@ -1,0 +1,134 @@
+// Package mustclose is the golden corpus for the mustclose analyzer:
+// the PR 9 OpenDir leak shape must be flagged, and the standard
+// cleanup/handoff shapes must stay silent.
+package mustclose
+
+import (
+	"errors"
+	"os"
+)
+
+var errBad = errors.New("bad")
+
+type dir struct{ f *os.File }
+
+func (d *dir) Close() error { return d.f.Close() }
+
+// OpenDir is the PR 9 leak: the file is live once its birth error has
+// been checked, a later step fails, and the early return abandons it.
+// Note f.Stat() is a method call on the tracked resource — that is
+// exactly what a constructor does to something it still owns, not an
+// ownership transfer.
+func OpenDir(name string) (*dir, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Stat(); err != nil {
+		return nil, err // want `return without closing f \(constructed at`
+	}
+	return &dir{f: f}, nil
+}
+
+// openChecked closes on the failure path: silent.
+func openChecked(name string) (*dir, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &dir{f: f}, nil
+}
+
+// deferProtected installs the usual guarded-cleanup defer: silent.
+func deferProtected(name string) (*dir, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+	if _, err := f.Stat(); err != nil {
+		return nil, err
+	}
+	ok = true
+	return &dir{f: f}, nil
+}
+
+// handoff returns the resource: the caller owns it. Silent.
+func handoff(name string) (*os.File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// methodUse flags the leak even though the resource's methods and
+// fields were used in between (receiver use keeps ownership).
+func methodUse(name string) (*os.File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.Name() == "" {
+		return nil, errBad // want `return without closing f`
+	}
+	return f, nil
+}
+
+func register(f *os.File) {}
+
+// registered passes the resource to a call: ownership has (at least
+// potentially) moved, so the later return is silent.
+func registered(name string) (*os.File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	register(f)
+	if name == "" {
+		return nil, errBad
+	}
+	return f, nil
+}
+
+// compositeNotTracked: a bare composite literal holds no external
+// resources at birth (the DurableLog shape) and is not tracked. Silent.
+func compositeNotTracked(f *os.File) (*dir, error) {
+	d := &dir{f: f}
+	if f == nil {
+		return nil, errBad
+	}
+	return d, nil
+}
+
+// probe is not a candidate (no Close()-bearing result): constructor
+// calls inside it are nobody's leak here. Silent.
+func probe(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// suppressedLeak carries a justified ignore on the flagged return.
+func suppressedLeak(name string) (*os.File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		return nil, errBad //ssi:ignore reason=fixture: contrived shape closed elsewhere
+	}
+	return f, nil
+}

@@ -1,0 +1,69 @@
+// Package statusswitch is the golden corpus for the statusswitch
+// analyzer, using a locally //ssi:enum-annotated type.
+package statusswitch
+
+//ssi:enum
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusBusy
+)
+
+// nonExhaustive misses a member and has no default.
+func nonExhaustive(s Status) int {
+	switch s { // want `switch over Status has no default and is not exhaustive: missing StatusBusy`
+	case StatusOK:
+		return 0
+	case StatusNotFound:
+		return 1
+	}
+	return 2
+}
+
+// exhaustive covers every member: silent without a default.
+func exhaustive(s Status) int {
+	switch s {
+	case StatusOK:
+		return 0
+	case StatusNotFound:
+		return 1
+	case StatusBusy:
+		return 2
+	}
+	return 3
+}
+
+// defaulted has a default arm: silent regardless of coverage.
+func defaulted(s Status) int {
+	switch s {
+	case StatusOK:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// plainInt switches over an unannotated type: silent.
+func plainInt(n int) int {
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	return 2
+}
+
+// suppressed carries a justified ignore on the line above the switch.
+func suppressed(s Status) int {
+	//ssi:ignore reason=fixture: legacy switch predating StatusBusy
+	switch s {
+	case StatusOK:
+		return 0
+	case StatusNotFound:
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,16 @@
+// Package wireop declares a closed enum WITHOUT an //ssi:enum
+// directive: directives are comments and do not cross package
+// boundaries, so switches over this type in other packages are only
+// checked when the type is registered in lint.DefaultEnums (as the real
+// pgssi.Status and wire.Op are). The wireuse fixture plus the
+// DefaultEnums golden test prove that registration enumerates the
+// members through export data alone.
+package wireop
+
+type Op uint8
+
+const (
+	OpA Op = iota + 1
+	OpB
+	OpC
+)

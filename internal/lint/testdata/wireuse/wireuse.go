@@ -1,0 +1,18 @@
+// Package wireuse switches non-exhaustively over an enum imported from
+// another fixture package. The diagnostic below only fires when the
+// golden test registers fix/wireop.Op in lint.DefaultEnums — proving
+// cross-package member enumeration via export data, the mechanism that
+// checks switches over pgssi.Status and wire.Op engine-wide.
+package wireuse
+
+import "fix/wireop"
+
+func route(op wireop.Op) int {
+	switch op { // want `switch over Op has no default and is not exhaustive: missing OpC`
+	case wireop.OpA:
+		return 1
+	case wireop.OpB:
+		return 2
+	}
+	return 0
+}

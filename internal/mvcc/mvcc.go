@@ -262,7 +262,7 @@ type txRecord struct {
 // logShard is one shard of the commit log plus the active subset of its
 // transactions.
 type logShard struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex //ssi:lock level=40 name=mvcc.logShard
 	recs   map[TxID]*txRecord
 	active map[TxID]struct{}
 }
@@ -296,8 +296,11 @@ type Manager struct {
 	// activeCount counts in-progress transactions.
 	activeCount atomic.Int64
 
-	// truncMu serializes TruncateLog/AutoTruncate passes.
-	truncMu sync.Mutex
+	// truncMu serializes TruncateLog/AutoTruncate passes. The three
+	// mutexes below are level-ordered (trunc < begin < global <
+	// logShard) and ssilint machine-checks that order; the canonical
+	// table is in docs/invariants.md.
+	truncMu sync.Mutex //ssi:lock level=10 name=mvcc.trunc
 
 	// beginMu fences Begin's xid-assignment→shard-registration window.
 	// Begin holds it SHARED across both steps, so Begins never block
@@ -307,13 +310,13 @@ type Manager struct {
 	// assignment and registration would otherwise be invisible to the
 	// scan while holding an xid below the bound, and truncation floors
 	// derived from the scan could pass an active transaction).
-	beginMu sync.RWMutex
+	beginMu sync.RWMutex //ssi:lock level=20 name=mvcc.begin
 
 	// mu is the legacy-mode global snapshot mutex: with
 	// DisableCSNSnapshots, Begin/Commit/Abort hold it exclusively and
 	// TakeSnapshot holds it shared (it only reads — see the RLock note
 	// on TakeSnapshot). Unused in CSN mode.
-	mu sync.RWMutex
+	mu sync.RWMutex //ssi:lock level=30 name=mvcc.global
 	// testSnapshotHook, if non-nil, runs inside the legacy TakeSnapshot
 	// critical section (white-box test hook pinning the shared-lock
 	// behaviour).

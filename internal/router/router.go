@@ -93,7 +93,7 @@ type Router struct {
 	primary  Member
 	replicas []Member
 
-	mu         sync.Mutex
+	mu         sync.Mutex //ssi:lock level=20 name=router.fleet
 	cond       *sync.Cond
 	primarySeq uint64
 	primaryOK  bool
@@ -306,7 +306,7 @@ type binding struct {
 type Session struct {
 	r *Router
 
-	mu   sync.Mutex
+	mu   sync.Mutex //ssi:lock level=10 name=router.session
 	next pgssi.Handle
 	txs  map[pgssi.Handle]binding
 }

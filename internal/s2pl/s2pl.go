@@ -131,7 +131,7 @@ type Stats struct {
 // broadcast condition variable serialize the lock table; waiters re-check
 // after every release.
 type Manager struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //ssi:lock level=10 name=s2pl.table
 	cond  *sync.Cond
 	locks map[core.Target]*entry
 	held  map[mvcc.TxID]map[core.Target]Mode

@@ -78,7 +78,7 @@ type Server struct {
 	rep *pgssi.Replica // nil in primary mode
 	cfg Config
 
-	mu       sync.Mutex
+	mu       sync.Mutex //ssi:lock level=10 name=server.conns
 	listener net.Listener
 	conns    map[*conn]struct{}
 	wg       sync.WaitGroup

@@ -91,9 +91,14 @@ type Hooks struct {
 // would serialize every read of a 64-tuple page for no correctness
 // benefit; only reader-vs-writer interleavings can lose an
 // rw-antidependency.
+//
+// Blocking acquisition order is latch before shard mutex; the reverse
+// direction is try-only (TryRLock under shard.mu cannot deadlock).
+// ssilint enforces this — both the slice and the latch() getter carry
+// the annotation; see docs/invariants.md.
 type latchTable struct {
 	mask    uint64
-	latches []sync.RWMutex
+	latches []sync.RWMutex //ssi:lock level=10 name=storage.pageLatch
 }
 
 func newLatchTable(n int) *latchTable {
@@ -111,6 +116,8 @@ func newLatchTable(n int) *latchTable {
 // latch returns the lock guarding page. Pages are allocated
 // sequentially, so a Fibonacci multiplicative hash spreads consecutive
 // pages across shards.
+//
+//ssi:lock level=10 name=storage.pageLatch
 func (lt *latchTable) latch(page int64) *sync.RWMutex {
 	h := uint64(page) * 0x9e3779b97f4a7c15
 	return &lt.latches[(h>>32)&lt.mask]

@@ -136,7 +136,7 @@ type Table struct {
 const shardCount = 64
 
 type shard struct {
-	mu   sync.Mutex
+	mu   sync.Mutex        //ssi:lock level=20 name=storage.shard
 	rows map[string]*Tuple // head of version chain (newest first)
 }
 

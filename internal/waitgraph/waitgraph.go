@@ -21,7 +21,7 @@ var ErrDeadlock = errors.New("deadlock detected")
 // one outstanding wait edge at a time (a transaction blocks on a single
 // lock), but a holder may be waited on by many transactions.
 type Graph struct {
-	mu sync.Mutex
+	mu sync.Mutex //ssi:lock level=10 name=waitgraph.graph
 	// waitsFor maps a waiting transaction to the set of transactions it
 	// is waiting on. S2PL lock waits can target several holders of a
 	// shared lock at once.

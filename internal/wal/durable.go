@@ -170,7 +170,7 @@ type DurableLog struct {
 	cfg Config
 	fs  FS
 
-	mu        sync.Mutex
+	mu        sync.Mutex //ssi:lock level=10 name=wal.durable
 	cond      *sync.Cond // signals flushing -> false
 	segs      []segMeta  // all segments, published sizes
 	pending   []queued   // enqueued, not yet grabbed by the flusher

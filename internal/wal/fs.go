@@ -104,7 +104,7 @@ func (osFS) SyncDir(dir string) error {
 // FaultFS must only be used from tests. It assumes append-only writes
 // (which is all the WAL does).
 type FaultFS struct {
-	mu sync.Mutex
+	mu sync.Mutex //ssi:lock level=30 name=wal.faultfs
 	// written and synced are byte lengths per absolute path.
 	written map[string]int64
 	synced  map[string]int64

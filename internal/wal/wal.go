@@ -153,7 +153,7 @@ const subscriberBuffer = 1024
 
 // Log is an in-memory WAL with replay-from-start subscriptions.
 type Log struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //ssi:lock level=20 name=wal.log
 	records []Record
 	subs    []chan Record
 }

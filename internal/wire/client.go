@@ -21,7 +21,7 @@ import (
 // every later one return StatusNetwork, and Err reports the underlying
 // error.
 type Client struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //ssi:lock level=20 name=wire.client
 	conn  net.Conn
 	br    *bufio.Reader
 	buf   []byte // encode scratch

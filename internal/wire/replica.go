@@ -41,7 +41,7 @@ type ReplicaSource struct {
 	// replica is not advancing.
 	Logf func(format string, args ...any)
 
-	mu      sync.Mutex
+	mu      sync.Mutex //ssi:lock level=10 name=wire.replicaSource
 	permErr error
 }
 

@@ -101,6 +101,8 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 }
 
 // Op is a request opcode.
+//
+//ssi:enum
 type Op uint8
 
 // Request opcodes. Values are wire-stable.
@@ -334,6 +336,10 @@ func AppendRequest(buf []byte, req *Request) []byte {
 	case OpPing, OpReplicaStatus, OpFetchCheckpoint:
 	case OpReplicate:
 		e.u64(req.AfterSeq)
+	default:
+		// A new opcode must be given an encoding here; silently
+		// emitting an empty body would desynchronize the stream.
+		panic(fmt.Sprintf("wire: AppendRequest: unhandled op %d", uint8(req.Op)))
 	}
 	return e.b
 }
@@ -378,6 +384,10 @@ func DecodeRequest(body []byte) (Request, error) {
 	case OpPing, OpReplicaStatus, OpFetchCheckpoint:
 	case OpReplicate:
 		req.AfterSeq = d.u64()
+	default:
+		// Unreachable while the range guard above tracks opMax, but a
+		// decoder must never fall through silently on a wire value.
+		return Request{}, fmt.Errorf("%w: unknown op %d", ErrBadMessage, uint8(req.Op))
 	}
 	if err := d.done(); err != nil {
 		return Request{}, err

@@ -40,7 +40,7 @@ type Replica struct {
 	stopCh chan struct{}
 	done   chan struct{}
 
-	mu         sync.Mutex
+	mu         sync.Mutex //ssi:lock level=15 name=pgssi.replica
 	cond       *sync.Cond
 	applied    int    // records applied
 	safeAt     int    // applied position of the last safe-snapshot marker

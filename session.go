@@ -12,6 +12,8 @@ import (
 // can branch on it without string matching (the way PostgreSQL clients
 // branch on SQLSTATE). The numeric values are part of the wire protocol
 // (docs/protocol.md) and must not be renumbered.
+//
+//ssi:enum
 type Status uint8
 
 // Status codes. StatusNetwork is client-side only: it is never sent on
@@ -213,7 +215,7 @@ type Session struct {
 	begin func(TxOptions) (*Tx, error)
 	ddl   func(name string) error
 
-	mu   sync.Mutex
+	mu   sync.Mutex //ssi:lock level=10 name=pgssi.session
 	next Handle
 	txs  map[Handle]*Tx
 }
